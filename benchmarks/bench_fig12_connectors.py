@@ -1,0 +1,85 @@
+"""Experiment E1 — Fig. 12: the connector benchmark series.
+
+Per-connector throughput benchmarks (global execution steps driven through
+the engine) for both compilation approaches, plus a one-shot regeneration of
+the full Fig. 12 classification (pie + bar chart) over all 18 connectors.
+
+The full sweep at the paper's N ∈ {2,…,64} takes minutes; the default here
+uses a small window.  For a longer run:
+``python -m repro.bench.fig12 --window 2.0``.
+"""
+
+import pytest
+
+from repro.bench.fig12 import run_fig12
+from repro.bench.harness import drive_connector
+from repro.compiler import compile_existing
+from repro.connectors import library
+
+# A spread of connector families: synchronous, buffered, stateful.
+REPRESENTATIVE = ("Replicator", "EarlyAsyncMerger", "Sequencer",
+                  "SequencedMerger")
+NS = (2, 8)
+WINDOW = 0.2
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVE)
+@pytest.mark.parametrize("n", NS)
+def test_new_approach_throughput(benchmark, name, n):
+    """Steps/second of the new (parametrized, JIT) approach."""
+
+    def run():
+        return drive_connector(
+            lambda: library.connector(name, n), window_s=WINDOW
+        )
+
+    sample = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not sample.failed
+    benchmark.extra_info["steps_per_s"] = round(sample.rate)
+    benchmark.extra_info["steps"] = sample.steps
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVE)
+@pytest.mark.parametrize("n", NS)
+def test_existing_approach_throughput(benchmark, name, n):
+    """Steps/second of the existing approach (per-N full compilation)."""
+
+    def make():
+        compiled = compile_existing(
+            library.dsl_source(name, n), name, sizes=n,
+            state_budget=50_000, time_budget_s=5.0,
+        )
+        return compiled.instantiate_connector()
+
+    def run():
+        return drive_connector(make, window_s=WINDOW)
+
+    sample = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not sample.failed
+    benchmark.extra_info["steps_per_s"] = round(sample.rate)
+
+
+def test_fig12_full_classification(once):
+    """Regenerate Fig. 12's pie/bar summary over all 18 connectors.
+
+    N is capped at 16 here to keep the default suite fast; the paper's full
+    {2..64} sweep is available via ``python -m repro.bench.fig12``.
+    """
+    report = once(
+        run_fig12,
+        ns=(2, 4, 8, 16),
+        window_s=0.1,
+        state_budget=20_000,
+        compile_time_budget_s=1.0,
+    )
+    print()
+    print(report.render())
+    # the paper's qualitative claims:
+    pie = report.pie()
+    counts = report.counts_by_n()
+    # existing fails only at the larger N (dotted bins cluster right)
+    assert counts[2]["fail"] == 0
+    assert counts[16]["fail"] >= counts[4]["fail"]
+    # the new approach wins somewhere, the existing approach wins somewhere
+    assert pie["new"] + pie["fail"] > 0
+    assert pie["ex10"] + pie["ex100"] > 0

@@ -1,0 +1,67 @@
+"""Experiments E2/E3 — Fig. 13: NPB run times, original vs. Reo-based.
+
+The paper's panels show CG (kernel, master–slaves) and LU (application,
+master–slaves + pipeline) for a small size (S: overhead dominates) and a
+large size (C: overhead amortized).  Class "A" stands in for the large size
+in the default suite (class C is minutes of numpy work; run
+``python -m repro.bench.fig13 --classes S,C`` for the full panel).
+"""
+
+import pytest
+
+from repro.npb import cg, ep, is_, lu
+
+PROGRAMS = {"cg": cg, "lu": lu}
+NS = (2, 4, 8)
+
+
+@pytest.mark.parametrize("prog", sorted(PROGRAMS))
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.parametrize("variant", ["original", "reo"])
+def test_npb_class_s(benchmark, prog, n, variant):
+    """The small-class panels: generated-code overhead dominates."""
+    mod = PROGRAMS[prog]
+    fn = mod.run_original if variant == "original" else mod.run_reo
+
+    result = benchmark.pedantic(fn, args=("S", n), rounds=1, iterations=1)
+    assert result.verified
+    benchmark.extra_info["seconds"] = round(result.seconds, 4)
+
+
+@pytest.mark.parametrize("prog", sorted(PROGRAMS))
+@pytest.mark.parametrize("variant", ["original", "reo"])
+def test_npb_class_a(benchmark, prog, variant):
+    """The larger-class panels at N=4: overhead amortized over real work."""
+    mod = PROGRAMS[prog]
+    fn = mod.run_original if variant == "original" else mod.run_reo
+    result = benchmark.pedantic(fn, args=("A", 4), rounds=1, iterations=1)
+    assert result.verified
+    benchmark.extra_info["seconds"] = round(result.seconds, 4)
+
+
+def test_overhead_shrinks_with_class(once):
+    """The paper's finding 1 vs 2: reo/original overhead ratio is larger on
+    class S than on class A (amortization)."""
+
+    def measure():
+        out = {}
+        for clazz in ("S", "A"):
+            orig = min(cg.run_original(clazz, 4).seconds for _ in range(2))
+            reo = min(cg.run_reo(clazz, 4).seconds for _ in range(2))
+            out[clazz] = reo / orig
+        return out
+
+    ratios = once(measure)
+    print(f"\nCG reo/original overhead: S={ratios['S']:.2f}x "
+          f"A={ratios['A']:.2f}x")
+    assert ratios["A"] < ratios["S"] * 1.5  # amortization trend
+
+
+@pytest.mark.parametrize("prog", ["ep", "is"])
+def test_additional_kernels(benchmark, prog):
+    """EP and IS round out the kernel set (§V.C mentions four kernels)."""
+    mod = {"ep": ep, "is": is_}[prog]
+    result = benchmark.pedantic(
+        mod.run_reo, args=("S", 4), rounds=1, iterations=1
+    )
+    assert result.verified

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Every file here regenerates one experiment of the paper's evaluation (see
+DESIGN.md §4 for the experiment index).  Benchmarks print their result
+tables through ``benchmark.extra_info`` and stdout (run with ``-s`` to see
+them); absolute numbers are substrate-dependent, the *shapes* are what
+EXPERIMENTS.md records.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a (possibly slow) experiment exactly once under the benchmark
+    fixture, so it appears in ``--benchmark-only`` output."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

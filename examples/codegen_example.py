@@ -1,0 +1,71 @@
+"""Text-to-Python code generation (the paper's Fig. 10, Python edition).
+
+Compiles the parametrized running example once, emits a standalone Python
+module (loops and conditionals mirroring the normalized protocol body),
+writes it next to this script, imports it, and runs it for several N —
+demonstrating the "compile once, instantiate for any number of tasks"
+property of the new approach.
+
+Run:  python examples/codegen_example.py
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import repro
+
+FIG9 = """
+X(tl;prev,next,hd) =
+  Repl2(tl;prev,v) mult Fifo1(v;w) mult Repl2(w;next,hd)
+
+ConnectorEx11N(tl[];hd[]) =
+  if (#tl == 1) {
+    Fifo1(tl[1];hd[1])
+  } else {
+    prod (i:1..#tl) X(tl[i];prev[i],next[i],hd[i])
+    mult prod (i:1..#tl-1) Seq2(next[i],prev[i+1];)
+    mult Seq2(prev[1],next[#tl];)
+  }
+"""
+
+
+def main() -> None:
+    protocol = repro.compile_source(FIG9).protocol("ConnectorEx11N")
+    source = repro.generate_python(protocol)
+    out_path = pathlib.Path(__file__).with_name("_generated_connector.py")
+    out_path.write_text(source)
+    print(f"generated {out_path.name}: {len(source.splitlines())} lines")
+    print("--- excerpt " + "-" * 50)
+    for line in source.splitlines():
+        if line.startswith(("def build_automata", "    for ", "    if ")):
+            print(line)
+    print("-" * 62)
+
+    spec = importlib.util.spec_from_file_location("generated_connector", out_path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+
+    from repro.runtime.ports import mkports
+    from repro.runtime.tasks import TaskGroup
+
+    for n in (1, 2, 5):
+        conn = mod.make_connector(sizes=n)
+        outs, ins = mkports(n, n)
+        conn.connect(outs, ins)
+        order = []
+        with TaskGroup() as g:
+            for i, out in enumerate(outs, 1):
+                g.spawn(lambda out=out, i=i: out.send(i))
+            def consume():
+                for p in ins:
+                    order.append(p.recv())
+            g.spawn(consume)
+        conn.close()
+        assert order == list(range(1, n + 1))
+        print(f"N={n}: generated connector delivered in order {order}")
+    print("codegen example OK")
+
+
+if __name__ == "__main__":
+    main()

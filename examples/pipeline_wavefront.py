@@ -1,0 +1,78 @@
+"""A pipelined wavefront computation over generated fifo connectors.
+
+The communication pattern of NPB LU (§V.C): stages organized in a pipeline,
+each consuming its predecessor's freshly produced boundary data chunk by
+chunk.  Here each stage applies a running transformation to a stream of
+chunks; with the one-place fifo pipes between stages, stage i+1 works on
+chunk c while stage i already works on chunk c+1 — true pipelining, with
+all synchronization inside the connectors.
+
+Run:  python examples/pipeline_wavefront.py [n_stages] [n_chunks]
+"""
+
+import sys
+
+import repro
+from repro.runtime.ports import mkports
+from repro.runtime.tasks import TaskGroup
+
+PIPE = "Pipe(a;b) = Fifo1(a;b)"
+
+
+def stage(rank: int, recv, send) -> None:
+    """Each stage adds its rank to every chunk and forwards it."""
+    while True:
+        chunk = recv()
+        if chunk is None:
+            send(None)
+            return
+        send([x + rank for x in chunk])
+
+
+def main(n_stages: int = 4, n_chunks: int = 8) -> None:
+    program = repro.compile_source(PIPE)
+    pipes = []
+    ports = []
+    for _ in range(n_stages + 1):
+        conn = program.instantiate_connector("Pipe")
+        outs, ins = mkports(1, 1)
+        conn.connect(outs, ins)
+        pipes.append(conn)
+        ports.append((outs[0], ins[0]))
+
+    results = []
+
+    def source():
+        for c in range(n_chunks):
+            ports[0][0].send(list(range(c, c + 4)))
+        ports[0][0].send(None)
+
+    def sink():
+        while True:
+            chunk = ports[-1][1].recv()
+            if chunk is None:
+                return
+            results.append(chunk)
+
+    with TaskGroup() as g:
+        g.spawn(source)
+        for rank in range(n_stages):
+            g.spawn(
+                stage, rank + 1, ports[rank][1].recv, ports[rank + 1][0].send,
+                name=f"stage-{rank}",
+            )
+        g.spawn(sink)
+
+    for conn in pipes:
+        conn.close()
+
+    total_added = sum(range(1, n_stages + 1))
+    expected = [[x + total_added for x in range(c, c + 4)] for c in range(n_chunks)]
+    assert results == expected, results
+    print(f"{n_chunks} chunks through {n_stages} pipelined stages: OK")
+    print(f"first/last chunk: {results[0]} ... {results[-1]}")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

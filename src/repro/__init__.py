@@ -1,0 +1,94 @@
+"""repro — parametrized Reo for parallel programming.
+
+A from-scratch Python reproduction of *"Modular Programming of
+Synchronization and Communication among Tasks in Parallel Programs"*
+(B. van Veen and S.-S. Jongmans, IPDPSW 2018): a protocol DSL, two
+compilation approaches (existing/fully-static and new/parametrized), two
+execution strategies (ahead-of-time and just-in-time composition), and the
+generalized Foster–Chandy runtime model they target.
+
+Quick start::
+
+    import repro
+
+    source = '''
+    Pipe(a;b) = Fifo1(a;v) mult Fifo1(v;b)
+    '''
+    program = repro.compile_source(source)
+    conn = program.instantiate_connector("Pipe")
+    (outs, ins) = repro.mkports(1, 1)
+    conn.connect(outs, ins)
+    with repro.TaskGroup() as g:
+        g.spawn(lambda: [outs[0].send(i) for i in range(3)])
+        g.spawn(lambda: print([ins[0].recv() for _ in range(3)]))
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.compiler import (
+    CompiledProgram,
+    CompiledProtocol,
+    compile_existing,
+    compile_source,
+    compile_program,
+    connector_from_graph,
+    generate_python,
+    run_main,
+)
+from repro.automata.verify import verify_protocol
+from repro.connectors import library
+from repro.lang import graph_to_text, parse
+from repro.runtime import (
+    Channel,
+    Connector,
+    Inport,
+    Outport,
+    RuntimeConnector,
+    TaskGroup,
+    mkports,
+    spawn,
+)
+from repro.util.errors import (
+    CompilationBudgetExceeded,
+    CompilationError,
+    DeadlockError,
+    ParseError,
+    PortClosedError,
+    ReproError,
+    ScopeError,
+    WellFormednessError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "CompiledProtocol",
+    "compile_existing",
+    "compile_source",
+    "compile_program",
+    "connector_from_graph",
+    "generate_python",
+    "run_main",
+    "library",
+    "verify_protocol",
+    "graph_to_text",
+    "parse",
+    "Channel",
+    "Connector",
+    "Inport",
+    "Outport",
+    "RuntimeConnector",
+    "TaskGroup",
+    "mkports",
+    "spawn",
+    "CompilationBudgetExceeded",
+    "CompilationError",
+    "DeadlockError",
+    "ParseError",
+    "PortClosedError",
+    "ReproError",
+    "ScopeError",
+    "WellFormednessError",
+    "__version__",
+]

@@ -1,0 +1,197 @@
+"""Command-line interface: the toolchain of the paper's Fig. 11.
+
+Subcommands::
+
+    python -m repro compile FILE [--protocol NAME] [-o OUT.py]
+        text-to-Python compilation (the paper's text-to-Java analogue)
+
+    python -m repro run FILE --tasks MODULE [--param N=8] [--aot] [--partition]
+        execute a program's main definition; tasks resolved from MODULE
+
+    python -m repro dot {graph|automaton} CONNECTOR N
+        render a library connector (or its composed automaton) as DOT
+
+    python -m repro verify FILE [--protocol NAME] [--sizes N]
+        check a protocol for structural deadlocks, dead ports and
+        unplannable transitions before running it
+
+    python -m repro list
+        list the built-in library connectors
+
+    python -m repro fig12 / fig13 ...
+        the benchmark runners (same flags as python -m repro.bench.fig12/13)
+
+    python -m repro reproduce [--quick]
+        regenerate both evaluation figures in one go
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pathlib
+import sys
+
+
+def _cmd_compile(args) -> int:
+    from repro.compiler import compile_source, generate_python
+
+    source = pathlib.Path(args.file).read_text()
+    program = compile_source(source)
+    code = generate_python(program.protocol(args.protocol))
+    if args.output:
+        pathlib.Path(args.output).write_text(code)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(code)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.compiler import compile_source, run_main
+
+    source = pathlib.Path(args.file).read_text()
+    program = compile_source(source)
+    registry = importlib.import_module(args.tasks)
+    params = {}
+    for spec in args.param or []:
+        name, _, value = spec.partition("=")
+        params[name] = int(value)
+    options = {}
+    if args.aot:
+        options["composition"] = "aot"
+    if args.partition:
+        options["use_partitioning"] = True
+    results = run_main(program, registry, params=params, **options)
+    for i, r in enumerate(results):
+        if r is not None:
+            print(f"task[{i}] -> {r!r}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from repro.connectors import library
+    from repro.connectors.dot import automaton_to_dot, graph_to_dot
+
+    built = library.build_graph(args.connector, args.n)
+    if args.what == "graph":
+        print(graph_to_dot(built.graph, set(built.tails), set(built.heads),
+                           name=f"{args.connector}({args.n})"))
+    else:
+        from repro.automata.product import product
+        from repro.compiler.fromgraph import compile_graph
+
+        large = product(compile_graph(built), name=args.connector)
+        print(automaton_to_dot(large))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.automata.verify import verify_protocol
+    from repro.compiler import compile_source
+
+    source = pathlib.Path(args.file).read_text()
+    protocol = compile_source(source).protocol(args.protocol)
+    report = verify_protocol(protocol, sizes=args.sizes)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_reproduce(args) -> int:
+    """Regenerate Fig. 12 and Fig. 13 with sensible defaults."""
+    from repro.bench.fig12 import run_fig12
+    from repro.bench.fig13 import render, run_fig13
+
+    window = 0.1 if args.quick else 0.25
+    ns = (2, 4, 8) if args.quick else (2, 4, 8, 16, 32, 64)
+    print(f"=== Fig. 12 (window {window}s, N in {ns}) "
+          "================================")
+    report = run_fig12(ns=ns, window_s=window, verbose=args.verbose)
+    print(report.render())
+    print()
+    classes = ("S",) if args.quick else ("S", "A")
+    print(f"=== Fig. 13 (classes {classes}) "
+          "=========================================")
+    results = run_fig13(programs=("cg", "lu"), classes=classes, ns=(2, 4, 8))
+    print(render(results))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    from repro.connectors import library
+
+    for name in library.names():
+        built = library.build_graph(name, 3)
+        print(f"{name:<26} tails={len(built.tails):<3} heads={len(built.heads):<3} "
+              f"arcs(n=3)={len(built.graph.arcs)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    # behave like a well-mannered unix filter under `| head`
+    try:
+        import signal
+
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    except (AttributeError, ValueError):  # pragma: no cover - non-posix
+        pass
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # benchmark passthroughs
+    if argv and argv[0] == "fig12":
+        from repro.bench.fig12 import main as fig12_main
+
+        return fig12_main(argv[1:])
+    if argv and argv[0] == "fig13":
+        from repro.bench.fig13 import main as fig13_main
+
+        return fig13_main(argv[1:])
+
+    ap = argparse.ArgumentParser(
+        prog="repro", description=__doc__.splitlines()[0]
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a protocol file to Python")
+    p.add_argument("file")
+    p.add_argument("--protocol", help="definition to compile (default: main's)")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("run", help="execute a program's main definition")
+    p.add_argument("file")
+    p.add_argument("--tasks", required=True,
+                   help="module providing the task callables")
+    p.add_argument("--param", action="append", metavar="NAME=INT")
+    p.add_argument("--aot", action="store_true")
+    p.add_argument("--partition", action="store_true")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("dot", help="render a library connector as DOT")
+    p.add_argument("what", choices=("graph", "automaton"))
+    p.add_argument("connector")
+    p.add_argument("n", type=int)
+    p.set_defaults(fn=_cmd_dot)
+
+    p = sub.add_parser("verify", help="verify a protocol before running it")
+    p.add_argument("file")
+    p.add_argument("--protocol", help="definition to verify (default: main's)")
+    p.add_argument("--sizes", type=int, default=None,
+                   help="length for array parameters")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("list", help="list the built-in library connectors")
+    p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("reproduce",
+                       help="regenerate both evaluation figures")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller windows / N sweep / classes")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_reproduce)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

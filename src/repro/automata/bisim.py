@@ -1,0 +1,118 @@
+"""Bisimulation checking over constraint automata (control level).
+
+Reo's semantics literature (ref [27]) compares connectors by (bi)simulation
+over constraint automata.  This module implements
+
+* :func:`strongly_bisimilar` — classic partition refinement over transition
+  labels (data constraints abstracted away: control-level equivalence);
+* :func:`weakly_bisimilar` — the same after saturating internal (τ, i.e.
+  empty-label) steps: ``τ* a τ*`` counts as an ``a``-step, so connectors
+  that differ only in hidden administrative moves are identified.
+
+Used by the test suite to *prove* (at the control level) that, e.g., the
+DSL's binary-merger chain with internal vertices hidden is equivalent to
+the n-ary merger primitive — the claim the library's behavioural tests
+sample, established exhaustively on the automata.
+"""
+
+from __future__ import annotations
+
+from repro.automata.automaton import ConstraintAutomaton
+
+
+def _weak_successors(auto: ConstraintAutomaton) -> list[dict[frozenset, frozenset]]:
+    """For each state: label -> frozenset of states reachable by τ* a τ*
+    (for a != τ), plus τ -> τ*-closure (including the state itself)."""
+    n = auto.n_states
+    tau_next: list[set[int]] = [set() for _ in range(n)]
+    labelled: list[dict[frozenset, set[int]]] = [dict() for _ in range(n)]
+    for t in auto.transitions:
+        if t.label:
+            labelled[t.source].setdefault(t.label, set()).add(t.target)
+        else:
+            tau_next[t.source].add(t.target)
+
+    # τ*-closure per state
+    closure: list[frozenset[int]] = []
+    for s in range(n):
+        seen = {s}
+        frontier = [s]
+        while frontier:
+            cur = frontier.pop()
+            for nxt in tau_next[cur]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        closure.append(frozenset(seen))
+
+    out: list[dict[frozenset, frozenset]] = []
+    for s in range(n):
+        table: dict[frozenset, set[int]] = {}
+        for mid in closure[s]:
+            for label, targets in labelled[mid].items():
+                bucket = table.setdefault(label, set())
+                for tgt in targets:
+                    bucket |= closure[tgt]
+        out.append(
+            {label: frozenset(targets) for label, targets in table.items()}
+        )
+    # weak τ move: reaching any state in your own closure
+    for s in range(n):
+        out[s][frozenset()] = closure[s]
+    return out
+
+
+def _strong_successors(auto: ConstraintAutomaton) -> list[dict[frozenset, frozenset]]:
+    out: list[dict[frozenset, set[int]]] = [dict() for _ in range(auto.n_states)]
+    for t in auto.transitions:
+        out[t.source].setdefault(t.label, set()).add(t.target)
+    return [
+        {label: frozenset(targets) for label, targets in table.items()}
+        for table in out
+    ]
+
+
+def _bisimilar(a1: ConstraintAutomaton, a2: ConstraintAutomaton, succs) -> bool:
+    """Partition refinement over the disjoint union of both automata."""
+    s1 = succs(a1)
+    s2 = succs(a2)
+    n1 = a1.n_states
+    combined = s1 + [
+        {label: frozenset(t + n1 for t in targets) for label, targets in table.items()}
+        for table in s2
+    ]
+    n = len(combined)
+
+    # initial partition: by outgoing label set
+    def signature(state: int, block_of: list[int]) -> tuple:
+        return tuple(
+            sorted(
+                (tuple(sorted(label)), tuple(sorted({block_of[t] for t in targets})))
+                for label, targets in combined[state].items()
+            )
+        )
+
+    block_of = [0] * n
+    while True:
+        sigs: dict[tuple, int] = {}
+        new_block_of = [0] * n
+        for state in range(n):
+            sig = (block_of[state], signature(state, block_of))
+            if sig not in sigs:
+                sigs[sig] = len(sigs)
+            new_block_of[state] = sigs[sig]
+        if new_block_of == block_of:
+            break
+        block_of = new_block_of
+
+    return block_of[a1.initial] == block_of[n1 + a2.initial]
+
+
+def strongly_bisimilar(a1: ConstraintAutomaton, a2: ConstraintAutomaton) -> bool:
+    """Strong (control-level) bisimilarity of the initial states."""
+    return _bisimilar(a1, a2, _strong_successors)
+
+
+def weakly_bisimilar(a1: ConstraintAutomaton, a2: ConstraintAutomaton) -> bool:
+    """Weak bisimilarity: internal (empty-label) steps are unobservable."""
+    return _bisimilar(a1, a2, _weak_successors)

@@ -1,0 +1,160 @@
+"""Just-in-time composition (paper §IV.D) with pluggable state caches.
+
+Instead of composing medium automata into one large automaton ahead of time,
+:class:`LazyProduct` computes "only the part of the state space of the large
+automaton that is actually reached, as the program is executed": the initial
+state's outgoing transitions are computed on construction, and every other
+state is expanded only once a transition into it fires.
+
+The paper's run-time system "currently" saves expanded states for eternity;
+bounded caches with eviction are explicitly left as future work (§V.B).  We
+implement both: :class:`UnboundedCache` (the paper's behaviour) and three
+bounded caches (:class:`LRUCache`, :class:`FIFOCache`, :class:`RandomCache`)
+whose eviction merely drops an expansion, which is recomputed on the next
+visit — "the disadvantage is the possible need to recompute states …; the
+advantage is that arbitrarily large state spaces can be handled".
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.automata.automaton import BufferSpec, ConstraintAutomaton
+from repro.automata.product import ComposedStep, compose_outgoing, merged_buffers
+
+
+class UnboundedCache:
+    """Keep every expansion forever (the paper's current runtime)."""
+
+    def __init__(self) -> None:
+        self._data: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class _BoundedCache:
+    """Shared machinery for the bounded caches."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._on_hit(key)
+        return value
+
+    def put(self, key, value) -> None:
+        if key not in self._data and len(self._data) >= self.capacity:
+            self._evict()
+            self.evictions += 1
+        self._data[key] = value
+
+    def _on_hit(self, key) -> None:  # pragma: no cover - overridden
+        pass
+
+    def _evict(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class LRUCache(_BoundedCache):
+    """Evict the least recently used expansion."""
+
+    def _on_hit(self, key) -> None:
+        self._data.move_to_end(key)
+
+    def _evict(self) -> None:
+        self._data.popitem(last=False)
+
+
+class FIFOCache(_BoundedCache):
+    """Evict the oldest expansion regardless of use."""
+
+    def _evict(self) -> None:
+        self._data.popitem(last=False)
+
+
+class RandomCache(_BoundedCache):
+    """Evict a pseudo-random expansion (seeded, for reproducible runs)."""
+
+    def __init__(self, capacity: int, seed: int = 0):
+        super().__init__(capacity)
+        self._rng = random.Random(seed)
+
+    def _evict(self) -> None:
+        victim = self._rng.choice(list(self._data.keys()))
+        del self._data[victim]
+
+
+class LazyProduct:
+    """The product automaton of Eq. 1, expanded state by state on demand.
+
+    States are tuples of component states.  ``outgoing(state)`` returns the
+    composed steps from that state, consulting/filling the cache.
+    """
+
+    def __init__(
+        self,
+        automata: Sequence[ConstraintAutomaton],
+        mode: str = "minimal",
+        cache=None,
+    ):
+        self.automata = list(automata)
+        self.mode = mode
+        self.cache = cache if cache is not None else UnboundedCache()
+        self._buffers = merged_buffers(self.automata)
+        self.expansions = 0
+        self.initial: tuple[int, ...] = tuple(a.initial for a in self.automata)
+        # Expand the initial state up front, as §IV.D prescribes.
+        self.outgoing(self.initial)
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.automata:
+            out |= a.vertices
+        return out
+
+    @property
+    def buffers(self) -> tuple[BufferSpec, ...]:
+        return self._buffers
+
+    def outgoing(self, state: tuple[int, ...]) -> list[ComposedStep]:
+        steps = self.cache.get(state)
+        if steps is None:
+            steps = compose_outgoing(self.automata, state, mode=self.mode)
+            self.cache.put(state, steps)
+            self.expansions += 1
+        return steps
+
+    def successor(self, state: tuple[int, ...], step: ComposedStep) -> tuple[int, ...]:
+        return step.successor(state)

@@ -1,0 +1,260 @@
+"""Synchronous product of constraint automata (paper Eq. 1, ref [27]).
+
+Two local transitions may fire in the same global step iff they agree on
+every shared vertex: a transition of one automaton that involves shared
+vertices fires iff a transition of the other that involves exactly the same
+shared vertices fires; transitions involving no shared vertices can fire
+independently (paper §III.B).
+
+Two enumeration modes are provided:
+
+* ``mode="minimal"`` (default): a global step is a *minimal* non-empty set
+  of local transitions closed under the shared-vertex agreement rule.
+  Independent local transitions interleave instead of additionally producing
+  every joint combination.  This is observationally equivalent (any joint
+  step of independent parts equals a sequence of minimal steps) and avoids
+  the per-state transition blow-up.
+* ``mode="maximal"``: the textbook product, which also contains every joint
+  firing of independent parts.  This faithfully reproduces the behaviour the
+  paper reports in §V.C point 3 — "some states with a number of transitions
+  exponential in the number of slaves" — and is used by the blow-up
+  experiments (E4/E6 in DESIGN.md).
+
+:func:`compose_outgoing` is the single source of truth for the
+synchronization rule; both the eager product here and the just-in-time
+product in :mod:`repro.automata.lazy` call it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.automata.automaton import BufferSpec, ConstraintAutomaton, Transition
+from repro.util.errors import CompilationBudgetExceeded, WellFormednessError
+
+#: Default bound on the number of product states the eager composition may
+#: explore.  Models the capacity limit of the paper's *existing* compiler.
+DEFAULT_STATE_BUDGET = 200_000
+
+
+class ComposedStep:
+    """One global step: the participating local transitions, per component."""
+
+    __slots__ = ("parts", "label", "atoms", "effects")
+
+    def __init__(self, parts: dict[int, Transition]):
+        self.parts = parts
+        label: set[str] = set()
+        atoms: list = []
+        effects: list = []
+        for _, t in sorted(parts.items()):
+            label |= t.label
+            atoms.extend(t.atoms)
+            effects.extend(t.effects)
+        self.label = frozenset(label)
+        self.atoms = tuple(atoms)
+        self.effects = tuple(effects)
+
+    def successor(self, local_states: tuple[int, ...]) -> tuple[int, ...]:
+        out = list(local_states)
+        for i, t in self.parts.items():
+            out[i] = t.target
+        return tuple(out)
+
+    def key(self) -> frozenset:
+        return frozenset(self.parts.items())
+
+
+def compose_outgoing(
+    automata: Sequence[ConstraintAutomaton],
+    local_states: Sequence[int],
+    mode: str = "minimal",
+) -> list[ComposedStep]:
+    """Enumerate the global steps available from a tuple of local states."""
+    if mode == "minimal":
+        return _compose_minimal(automata, local_states)
+    if mode == "maximal":
+        return _compose_maximal(automata, local_states)
+    raise ValueError(f"unknown composition mode {mode!r}")
+
+
+def _vertex_owners(automata: Sequence[ConstraintAutomaton]) -> dict[str, list[int]]:
+    owners: dict[str, list[int]] = {}
+    for i, a in enumerate(automata):
+        for v in a.vertices:
+            owners.setdefault(v, []).append(i)
+    return owners
+
+
+def _compose_minimal(
+    automata: Sequence[ConstraintAutomaton],
+    local_states: Sequence[int],
+) -> list[ComposedStep]:
+    """Minimal closed sets of compatible local transitions.
+
+    Starting from each seed transition, components that own a vertex of the
+    current union label are *forced* to participate; we branch over their
+    compatible local transitions until the set is closed.  Minimality is by
+    construction (only forced components are added); duplicates produced
+    from different seeds are removed by key.
+    """
+    owners = _vertex_owners(automata)
+    seen: set[frozenset] = set()
+    steps: list[ComposedStep] = []
+
+    def close(parts: dict[int, Transition], label: set[str]) -> None:
+        # Find a component that must participate but has not been decided.
+        pending = None
+        for v in label:
+            for j in owners[v]:
+                if j not in parts:
+                    pending = j
+                    break
+            if pending is not None:
+                break
+        if pending is None:
+            # Closed: check full agreement (L ∩ V_i == label(t_i)).
+            for i, t in parts.items():
+                if (frozenset(label) & automata[i].vertices) != t.label:
+                    return
+            key = frozenset(parts.items())
+            if key not in seen:
+                seen.add(key)
+                steps.append(ComposedStep(dict(parts)))
+            return
+        j = pending
+        need = frozenset(label) & automata[j].vertices
+        for t in automata[j].outgoing(local_states[j]):
+            if t.label >= need:
+                parts[j] = t
+                close(parts, label | set(t.label))
+                del parts[j]
+
+    for i, a in enumerate(automata):
+        for t in a.outgoing(local_states[i]):
+            close({i: t}, set(t.label))
+    return steps
+
+
+def _compose_maximal(
+    automata: Sequence[ConstraintAutomaton],
+    local_states: Sequence[int],
+) -> list[ComposedStep]:
+    """The textbook product: every compatible combination, joint firings of
+    independent parts included.  Worst case exponential in the number of
+    independent enabled transitions — deliberately so (see module docs)."""
+    n = len(automata)
+    steps: list[ComposedStep] = []
+
+    def ok_pair(i: int, ti: Transition, j: int, tj: Transition) -> bool:
+        return (ti.label & automata[j].vertices) == (tj.label & automata[i].vertices)
+
+    def ok_idle(i: int, ti: Transition, j: int) -> bool:
+        return not (ti.label & automata[j].vertices)
+
+    def rec(k: int, parts: dict[int, Transition], idles: list[int]) -> None:
+        if k == n:
+            if parts:
+                steps.append(ComposedStep(dict(parts)))
+            return
+        # option: component k idles — no decided transition may touch V_k
+        if all(ok_idle(i, t, k) for i, t in parts.items()):
+            idles.append(k)
+            rec(k + 1, parts, idles)
+            idles.pop()
+        # option: component k fires one of its transitions — it must agree
+        # with every decided transition and avoid every idle component
+        for t in automata[k].outgoing(local_states[k]):
+            if all(ok_pair(k, t, i, ti) for i, ti in parts.items()) and all(
+                ok_idle(k, t, j) for j in idles
+            ):
+                parts[k] = t
+                rec(k + 1, parts, idles)
+                del parts[k]
+
+    rec(0, {}, [])
+    return steps
+
+
+def merged_buffers(automata: Sequence[ConstraintAutomaton]) -> tuple[BufferSpec, ...]:
+    """Union of the component automata's buffer declarations.
+
+    Buffer names must be globally unique across a composition; the compiler
+    guarantees this by qualifying buffer names per primitive instance.
+    """
+    out: dict[str, BufferSpec] = {}
+    for a in automata:
+        for b in a.buffers:
+            if b.name in out and out[b.name] != b:
+                raise WellFormednessError(
+                    f"conflicting declarations for buffer {b.name!r}"
+                )
+            out[b.name] = b
+    return tuple(out.values())
+
+
+def product(
+    automata: Sequence[ConstraintAutomaton],
+    mode: str = "minimal",
+    state_budget: int | None = DEFAULT_STATE_BUDGET,
+    name: str = "",
+    time_budget_s: float | None = None,
+) -> ConstraintAutomaton:
+    """Eagerly compose ``automata`` into one "large automaton" (Eq. 1).
+
+    Only states reachable from the joint initial state are constructed.
+    Raises :class:`CompilationBudgetExceeded` when more than ``state_budget``
+    product states are discovered, or composition exceeds ``time_budget_s``
+    wall-clock seconds — modelling the failure of the paper's existing
+    compiler on exponential state spaces (Fig. 12, dotted bins).
+    """
+    automata = list(automata)
+    if not automata:
+        raise WellFormednessError("cannot compose an empty set of automata")
+    if len(automata) == 1:
+        return automata[0]
+
+    import time
+
+    deadline = (
+        time.perf_counter() + time_budget_s if time_budget_s is not None else None
+    )
+    init = tuple(a.initial for a in automata)
+    ids: dict[tuple[int, ...], int] = {init: 0}
+    order: list[tuple[int, ...]] = [init]
+    transitions: list[Transition] = []
+    frontier = [init]
+    while frontier:
+        src = frontier.pop()
+        sid = ids[src]
+        if deadline is not None and time.perf_counter() > deadline:
+            raise CompilationBudgetExceeded(
+                state_budget or -1,
+                len(order),
+                f"composition exceeded the {time_budget_s}s time budget "
+                f"after {len(order)} states",
+            )
+        for step in compose_outgoing(automata, src, mode=mode):
+            tgt = step.successor(src)
+            tid = ids.get(tgt)
+            if tid is None:
+                tid = len(order)
+                if state_budget is not None and tid >= state_budget:
+                    raise CompilationBudgetExceeded(state_budget, tid + 1)
+                ids[tgt] = tid
+                order.append(tgt)
+                frontier.append(tgt)
+            transitions.append(
+                Transition(sid, step.label, tid, step.atoms, step.effects)
+            )
+
+    vertices = frozenset().union(*(a.vertices for a in automata))
+    return ConstraintAutomaton(
+        n_states=len(order),
+        initial=0,
+        vertices=vertices,
+        transitions=tuple(transitions),
+        buffers=merged_buffers(automata),
+        name=name or "x".join(a.name or "?" for a in automata),
+        meta={"components": len(automata)},
+    )

@@ -1,0 +1,25 @@
+"""Benchmark harness regenerating the paper's evaluation (§V.B–C).
+
+* :mod:`repro.bench.harness` — connector throughput measurement ("the
+  number of global execution steps the connector made in [a time window];
+  every task just tried to send and receive as often as possible");
+* :mod:`repro.bench.fig12` — the connector experiment series: 18 connectors
+  × N ∈ {2,…,64}, existing vs. new approach, classified into the paper's
+  four bins (Fig. 12's pie + bar charts);
+* :mod:`repro.bench.fig13` — the NPB experiment series: original vs.
+  Reo-based run times (Fig. 13's panels);
+* command line: ``python -m repro.bench.fig12`` / ``python -m
+  repro.bench.fig13``.
+"""
+
+from repro.bench.harness import drive_connector, ThroughputSample
+from repro.bench.fig12 import run_fig12, Fig12Report
+from repro.bench.fig13 import run_fig13
+
+__all__ = [
+    "drive_connector",
+    "ThroughputSample",
+    "run_fig12",
+    "Fig12Report",
+    "run_fig13",
+]

@@ -1,0 +1,43 @@
+"""Compilation of textual protocols (paper §IV.C–D, §V.A).
+
+Two approaches, as in the paper:
+
+* :func:`compile_source` / :mod:`repro.compiler.parametrized` — the **new,
+  parametrized** approach: flatten, normalize, compose per-section "medium
+  automata" at compile time, defer iterations/conditionals (which depend on
+  the number of connectees) to a plan evaluated at connect time;
+* :mod:`repro.compiler.existing` — the **existing** approach: instantiate
+  everything for one fixed N at compile time and compose one "large
+  automaton" (Eq. 1), within a state budget.
+
+:mod:`repro.compiler.codegen` emits Python source for a compiled protocol,
+mirroring the paper's text-to-Java generator (Fig. 10);
+:mod:`repro.compiler.fromgraph` compiles directly from a
+:class:`~repro.connectors.graph.ConnectorGraph`.
+"""
+
+from repro.compiler.plan import (
+    CompiledProgram,
+    CompiledProtocol,
+    MediumTemplate,
+    PlanNode,
+)
+from repro.compiler.parametrized import compile_source, compile_program
+from repro.compiler.existing import compile_existing
+from repro.compiler.fromgraph import connector_from_graph, compile_graph
+from repro.compiler.codegen import generate_python
+from repro.compiler.run import run_main
+
+__all__ = [
+    "CompiledProgram",
+    "CompiledProtocol",
+    "MediumTemplate",
+    "PlanNode",
+    "compile_source",
+    "compile_program",
+    "compile_existing",
+    "connector_from_graph",
+    "compile_graph",
+    "generate_python",
+    "run_main",
+]

@@ -1,0 +1,36 @@
+"""Compile connectors directly from graph form (bypassing the DSL).
+
+The paper's workflow starts from a drawn diagram (graphical syntax); this
+module gives that entry point programmatic form: a
+:class:`~repro.connectors.library.BuiltConnector` (graph + boundary) becomes
+a runnable :class:`~repro.runtime.connector.RuntimeConnector` without going
+through text.  Used by tests to cross-validate DSL-compiled connectors
+against directly built ones.
+"""
+
+from __future__ import annotations
+
+from repro.automata.automaton import ConstraintAutomaton
+from repro.connectors.library import BuiltConnector
+from repro.connectors.primitives import graph_to_automata
+
+
+def compile_graph(built: BuiltConnector, prefix: str = "q") -> list[ConstraintAutomaton]:
+    """The small automata of a built connector graph (validated first)."""
+    built.validate()
+    return graph_to_automata(built.graph, prefix=prefix)
+
+
+def connector_from_graph(built: BuiltConnector, name: str = "", **options):
+    """A runnable connector for a built graph; ``options`` as for
+    :class:`~repro.runtime.connector.RuntimeConnector`."""
+    from repro.runtime.connector import RuntimeConnector
+
+    automata = compile_graph(built)
+    return RuntimeConnector(
+        automata,
+        list(built.tails),
+        list(built.heads),
+        name=name,
+        **options,
+    )

@@ -1,0 +1,28 @@
+"""Reo connector graphs and the primitive/connector library (paper §III.A).
+
+A connector is a directed hypergraph of vertices and typed (hyper)arcs;
+composition is graph union (the ⊕ operator).  This package provides the
+graph representation (:mod:`repro.connectors.graph`), the arc types of
+Fig. 6 plus the standard extended set from the Reo literature
+(:mod:`repro.connectors.primitives`), the library of 18 parametrizable
+connectors used in the paper's first experiment series
+(:mod:`repro.connectors.library`), and DOT rendering
+(:mod:`repro.connectors.dot`).
+"""
+
+from repro.connectors.graph import Arc, ConnectorGraph, prim
+from repro.connectors.primitives import PRIMITIVES, build_automaton, primitive_type
+from repro.connectors import library
+from repro.connectors.dot import graph_to_dot, automaton_to_dot
+
+__all__ = [
+    "Arc",
+    "ConnectorGraph",
+    "prim",
+    "PRIMITIVES",
+    "build_automaton",
+    "primitive_type",
+    "library",
+    "graph_to_dot",
+    "automaton_to_dot",
+]

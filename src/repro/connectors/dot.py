@@ -1,0 +1,80 @@
+"""DOT (graphviz) rendering of connector graphs and automata.
+
+The paper's toolchain includes a graphical editor and animation engine
+(§V.A); rendering to DOT is our equivalent for inspecting connectors and the
+automata the compiler produces.  The output is plain text, suitable for
+``dot -Tpng`` or online viewers; no graphviz dependency is required.
+"""
+
+from __future__ import annotations
+
+from repro.automata.automaton import ConstraintAutomaton
+from repro.connectors.graph import ConnectorGraph
+
+_ARC_STYLE = {
+    "sync": "",
+    "lossysync": "style=dashed",
+    "syncdrain": "arrowhead=tee",
+    "syncspout": "arrowtail=tee",
+    "fifo1": "label=fifo1",
+    "fifo1_full": "label=fifo1●",
+    "fifon": "label=fifon",
+    "fifo": "label=fifo∞",
+    "filter": "style=dotted",
+    "transform": "label=f",
+}
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', '\\"') + '"'
+
+
+def graph_to_dot(
+    graph: ConnectorGraph,
+    sources: set[str] | frozenset[str] = frozenset(),
+    sinks: set[str] | frozenset[str] = frozenset(),
+    name: str = "connector",
+) -> str:
+    """Render a connector graph; boundary vertices are drawn as triangles
+    (outward/inward pointing, as in the paper's diagrams)."""
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;", "  node [shape=point];"]
+    for v in sorted(graph.vertices):
+        if v in sources:
+            lines.append(f"  {_quote(v)} [shape=triangle, label={_quote(v)}];")
+        elif v in sinks:
+            lines.append(f"  {_quote(v)} [shape=invtriangle, label={_quote(v)}];")
+    for i, arc in enumerate(graph.arcs):
+        style = _ARC_STYLE.get(arc.type, f"label={_quote(arc.type)}")
+        if len(arc.tails) == 1 and len(arc.heads) == 1:
+            attr = f" [{style}]" if style else ""
+            lines.append(f"  {_quote(arc.tails[0])} -> {_quote(arc.heads[0])}{attr};")
+        else:
+            # Hyperarc: draw through an intermediate box node.
+            hub = f"__arc{i}"
+            lines.append(
+                f"  {_quote(hub)} [shape=box, label={_quote(arc.type)}];"
+            )
+            for t in arc.tails:
+                lines.append(f"  {_quote(t)} -> {_quote(hub)};")
+            for h in arc.heads:
+                lines.append(f"  {_quote(hub)} -> {_quote(h)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def automaton_to_dot(automaton: ConstraintAutomaton, name: str = "") -> str:
+    """Render a constraint automaton in the style of the paper's Fig. 7:
+    transitions labelled with their synchronization sets."""
+    lines = [
+        f"digraph {_quote(name or automaton.name or 'automaton')} {{",
+        "  rankdir=LR;",
+        "  node [shape=circle];",
+        f"  __init [shape=point]; __init -> {automaton.initial};",
+    ]
+    for t in automaton.transitions:
+        label = "{" + ",".join(sorted(t.label)) + "}"
+        if t.atoms:
+            label += f" ({len(t.atoms)} atoms)"
+        lines.append(f"  {t.source} -> {t.target} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Connector graphs: vertices, typed hyperarcs, and ⊕ composition (§III.A).
+
+A connector ``(V, A)`` is a directed hypergraph.  Every arc has a set of
+tails (vertices it reads from), a set of heads (vertices it writes to) and a
+type.  Connectors compose by graph union: ``(V1,A1) ⊕ (V2,A2) =
+(V1∪V2, A1∪A2)``; per the paper we predominantly use the equivalent
+representation as a set of primitives ``Γ = {prim(a) | a ∈ A}``.
+
+Well-formedness (checked by :meth:`ConnectorGraph.validate`): every vertex
+is written by at most one arc-end or declared boundary source, and read by
+at most one arc-end or declared boundary sink.  This is the textual
+language's discipline — routing is explicit through merger/replicator
+primitives, never implicit in shared vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import WellFormednessError
+
+
+@dataclass(frozen=True)
+class Arc:
+    """One typed hyperarc.
+
+    ``params`` carries type-specific options as a sorted tuple of
+    ``(key, value)`` pairs — e.g. ``(("capacity", 4),)`` for ``fifon`` or
+    ``(("pred", "even"),)`` for ``filter`` — keeping arcs hashable.
+    """
+
+    type: str
+    tails: tuple[str, ...]
+    heads: tuple[str, ...]
+    params: tuple[tuple[str, object], ...] = ()
+
+    def param(self, key: str, default=None):
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        return frozenset(self.tails) | frozenset(self.heads)
+
+    def __str__(self) -> str:
+        opts = "".join(f", {k}={v!r}" for k, v in self.params)
+        return f"{self.type}({','.join(self.tails)};{','.join(self.heads)}{opts})"
+
+
+def prim(arc: Arc) -> "ConnectorGraph":
+    """Translate an arc to the corresponding primitive connector
+    (the paper's ``prim`` function, §III.A)."""
+    return ConnectorGraph(set(arc.vertices), (arc,))
+
+
+@dataclass
+class ConnectorGraph:
+    """A connector as a (vertex set, arc tuple) pair.
+
+    ``primitive`` connectors consist of one arc, ``composite`` of more.
+    """
+
+    vertices: set[str] = field(default_factory=set)
+    arcs: tuple[Arc, ...] = ()
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, arc: Arc) -> "ConnectorGraph":
+        """Return ``self ⊕ prim(arc)`` (non-destructive)."""
+        return self | prim(arc)
+
+    def __or__(self, other: "ConnectorGraph") -> "ConnectorGraph":
+        """Graph union — the ⊕ composition operator."""
+        return ConnectorGraph(
+            self.vertices | other.vertices,
+            self.arcs + tuple(a for a in other.arcs if a not in self.arcs),
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_primitive(self) -> bool:
+        return len(self.arcs) == 1
+
+    @property
+    def is_composite(self) -> bool:
+        return len(self.arcs) > 1
+
+    def primitives(self) -> tuple["ConnectorGraph", ...]:
+        """The set-of-primitives representation Γ (§III.A)."""
+        return tuple(prim(a) for a in self.arcs)
+
+    def public_vertices(self) -> set[str]:
+        """Vertices with at most one incoming or outgoing arc (§III.A)."""
+        degree: dict[str, int] = {v: 0 for v in self.vertices}
+        for a in self.arcs:
+            for v in a.vertices:
+                degree[v] += 1
+        return {v for v, d in degree.items() if d <= 1}
+
+    def writers(self, vertex: str) -> list[Arc]:
+        return [a for a in self.arcs if vertex in a.heads]
+
+    def readers(self, vertex: str) -> list[Arc]:
+        return [a for a in self.arcs if vertex in a.tails]
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(
+        self,
+        sources: set[str] | frozenset[str] = frozenset(),
+        sinks: set[str] | frozenset[str] = frozenset(),
+    ) -> None:
+        """Check structural well-formedness.
+
+        ``sources`` are boundary vertices written by task outports; ``sinks``
+        are boundary vertices read by task inports.
+        """
+        for a in self.arcs:
+            missing = a.vertices - self.vertices
+            if missing:
+                raise WellFormednessError(
+                    f"arc {a} references vertices absent from the graph: {missing}"
+                )
+        for v in sorted(self.vertices):
+            n_writers = len(self.writers(v)) + (1 if v in sources else 0)
+            n_readers = len(self.readers(v)) + (1 if v in sinks else 0)
+            if n_writers > 1:
+                raise WellFormednessError(
+                    f"vertex {v!r} is written by {n_writers} producers; "
+                    "use an explicit merger"
+                )
+            if n_readers > 1:
+                raise WellFormednessError(
+                    f"vertex {v!r} is read by {n_readers} consumers; "
+                    "use an explicit replicator"
+                )
+        for v in sorted(sources | sinks):
+            if v not in self.vertices:
+                raise WellFormednessError(f"boundary vertex {v!r} not in the graph")
+
+    def dangling_vertices(
+        self,
+        sources: set[str] | frozenset[str] = frozenset(),
+        sinks: set[str] | frozenset[str] = frozenset(),
+    ) -> set[str]:
+        """Vertices with neither writer nor reader role on one side.
+
+        A vertex that is read but never written can never fire (and vice
+        versa for write-only internal vertices) — usually a protocol bug.
+        """
+        out = set()
+        for v in self.vertices:
+            written = bool(self.writers(v)) or v in sources
+            read = bool(self.readers(v)) or v in sinks
+            if not (written and read):
+                out.add(v)
+        return out
+
+    def __str__(self) -> str:
+        return " mult ".join(str(a) for a in self.arcs) or "<empty>"

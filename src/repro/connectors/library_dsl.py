@@ -1,0 +1,204 @@
+"""Parametrized textual-DSL sources for the 18 library connectors.
+
+These are the "single compilation for all N" versions (paper §V.B: "with
+the new compiler, only one compilation was necessary").  Variable-arity
+routing (the n-ary merger/replicator/router of the graph builders) is
+expressed as chains of the binary primitives — the standard encoding in the
+Reo literature — which is observationally equivalent: chained synchronous
+primitives fire jointly in a single global step.
+
+Tests cross-validate each source against the corresponding direct graph
+builder in :mod:`repro.connectors.library`.
+"""
+
+from __future__ import annotations
+
+# -- shared composite definitions -------------------------------------------
+
+MERGER_DEF = """
+Merger(t[];h) =
+  if (#t == 1) { Sync(t[1];h) }
+  else { if (#t == 2) { Merg2(t[1],t[2];h) }
+  else {
+    Merg2(t[1],t[2];c[1])
+    mult prod (i:2..#t-2) Merg2(c[i-1],t[i+1];c[i])
+    mult Merg2(c[#t-2],t[#t];h)
+  } }
+"""
+
+REPLICATOR_DEF = """
+Replicator(t;h[]) =
+  if (#h == 1) { Sync(t;h[1]) }
+  else { if (#h == 2) { Repl2(t;h[1],h[2]) }
+  else {
+    Repl2(t;h[1],c[1])
+    mult prod (i:2..#h-2) Repl2(c[i-1];h[i],c[i])
+    mult Repl2(c[#h-2];h[#h-1],h[#h])
+  } }
+"""
+
+ROUTER_DEF = """
+Router(t;h[]) =
+  if (#h == 1) { Sync(t;h[1]) }
+  else { if (#h == 2) { Router2(t;h[1],h[2]) }
+  else {
+    Router2(t;h[1],c[1])
+    mult prod (i:2..#h-2) Router2(c[i-1];h[i],c[i])
+    mult Router2(c[#h-2];h[#h-1],h[#h])
+  } }
+"""
+
+#: Token ring with one initialized fifo1; exposes token availability at slot
+#: i on head k[i] (used by the sequencer family).
+RING_DEF = """
+Ring(;k[]) =
+  Fifo1Full(s[1];r[1])
+  mult prod (i:2..#k) Fifo1(s[i];r[i])
+  mult prod (i:1..#k-1) Repl2(r[i];k[i],s[i+1])
+  mult Repl2(r[#k];k[#k],s[1])
+"""
+
+#: Synchronizing drain chain: forces t[1..n] to fire in one global step,
+#: exposing a data copy of each on c[i] (used by barrier/alternator family).
+DRAINCHAIN_DEF = """
+DrainChain(t[];c[]) =
+  Repl2(t[1];c[1],dr[1])
+  mult prod (i:2..#t-1) Repl3(t[i];c[i],dl[i],dr[i])
+  mult Repl2(t[#t];c[#t],dl[#t])
+  mult prod (i:1..#t-1) SyncDrain(dr[i],dl[i+1];)
+"""
+
+# -- the 18 connectors ---------------------------------------------------------
+
+DSL_SOURCES: dict[str, str] = {}
+
+DSL_SOURCES["Merger"] = MERGER_DEF
+
+DSL_SOURCES["Replicator"] = REPLICATOR_DEF
+
+DSL_SOURCES["Router"] = ROUTER_DEF
+
+DSL_SOURCES["EarlyAsyncMerger"] = MERGER_DEF + """
+EarlyAsyncMerger(t[];h) =
+  prod (i:1..#t) Fifo1(t[i];m[i])
+  mult Merger(m[1..#t];h)
+"""
+
+DSL_SOURCES["LateAsyncMerger"] = MERGER_DEF + """
+LateAsyncMerger(t[];h) =
+  Merger(t[1..#t];mm)
+  mult Fifo1(mm;h)
+"""
+
+DSL_SOURCES["EarlyAsyncReplicator"] = REPLICATOR_DEF + """
+EarlyAsyncReplicator(t;h[]) =
+  Fifo1(t;m)
+  mult Replicator(m;h[1..#h])
+"""
+
+DSL_SOURCES["LateAsyncReplicator"] = REPLICATOR_DEF + """
+LateAsyncReplicator(t;h[]) =
+  Replicator(t;m[1..#h])
+  mult prod (i:1..#h) Fifo1(m[i];h[i])
+"""
+
+DSL_SOURCES["EarlyAsyncRouter"] = ROUTER_DEF + """
+EarlyAsyncRouter(t;h[]) =
+  Fifo1(t;m)
+  mult Router(m;h[1..#h])
+"""
+
+DSL_SOURCES["LateAsyncRouter"] = ROUTER_DEF + """
+LateAsyncRouter(t;h[]) =
+  Router(t;m[1..#h])
+  mult prod (i:1..#h) Fifo1(m[i];h[i])
+"""
+
+DSL_SOURCES["Sequencer"] = RING_DEF + """
+Sequencer(a[];) =
+  Ring(;k[1..#a])
+  mult prod (i:1..#a) SyncDrain(a[i],k[i];)
+"""
+
+DSL_SOURCES["OutSequencer"] = ROUTER_DEF + RING_DEF + """
+OutSequencer(t;h[]) =
+  Router(t;x[1..#h])
+  mult prod (i:1..#h) { Repl2(x[i];h[i],w[i]) mult SyncDrain(w[i],k[i];) }
+  mult Ring(;k[1..#h])
+"""
+
+DSL_SOURCES["EarlyAsyncOutSequencer"] = ROUTER_DEF + RING_DEF + """
+OutSequencer(t;h[]) =
+  Router(t;x[1..#h])
+  mult prod (i:1..#h) { Repl2(x[i];h[i],w[i]) mult SyncDrain(w[i],k[i];) }
+  mult Ring(;k[1..#h])
+
+EarlyAsyncOutSequencer(t;h[]) =
+  Fifo1(t;u)
+  mult OutSequencer(u;h[1..#h])
+"""
+
+DSL_SOURCES["Alternator"] = MERGER_DEF + RING_DEF + DRAINCHAIN_DEF + """
+Alternator(t[];h) =
+  if (#t == 1) { Fifo1(t[1];h) }
+  else {
+    DrainChain(t[1..#t];c[1..#t])
+    mult prod (i:1..#t) { Fifo1(c[i];f[i]) mult Repl2(f[i];g[i],w[i])
+                          mult SyncDrain(w[i],k[i];) }
+    mult Ring(;k[1..#t])
+    mult Merger(g[1..#t];h)
+  }
+"""
+
+DSL_SOURCES["Barrier"] = DRAINCHAIN_DEF + """
+Barrier(t[];h[]) =
+  if (#t == 1) { Sync(t[1];h[1]) }
+  else {
+    DrainChain(t[1..#t];c[1..#t])
+    mult prod (i:1..#t) Sync(c[i];h[i])
+  }
+"""
+
+DSL_SOURCES["EarlyAsyncBarrierMerger"] = MERGER_DEF + DRAINCHAIN_DEF + """
+EarlyAsyncBarrierMerger(t[];h) =
+  if (#t == 1) { Fifo1(t[1];h) }
+  else {
+    DrainChain(t[1..#t];c[1..#t])
+    mult prod (i:1..#t) Fifo1(c[i];m[i])
+    mult Merger(m[1..#t];h)
+  }
+"""
+
+DSL_SOURCES["Lock"] = ROUTER_DEF + MERGER_DEF + """
+Lock(a[],r[];) =
+  Fifo1Full(s;m)
+  mult Router(m;g[1..#a])
+  mult prod (i:1..#a) SyncDrain(a[i],g[i];)
+  mult Merger(r[1..#r];s)
+"""
+
+DSL_SOURCES["SequencedMerger"] = """
+SMX(tl;prev,next,hd) =
+  Repl2(tl;prev,v) mult Fifo1(v;w) mult Repl2(w;next,hd)
+
+SequencedMerger(t[];h[]) =
+  if (#t == 1) {
+    Fifo1(t[1];h[1])
+  } else {
+    prod (i:1..#t) SMX(t[i];prev[i],next[i],h[i])
+    mult prod (i:1..#t-1) Seq2(next[i],prev[i+1];)
+    mult Seq2(prev[1],next[#t];)
+  }
+"""
+
+
+def fifo_chain_source(n: int) -> str:
+    """FifoChain is parametrized by pipeline depth, which the textual syntax
+    (parametric in array lengths only) cannot express; generate its source
+    per depth — this is the one case where, as §IV.C puts it, "the two
+    approaches coincide"."""
+    if n < 1:
+        raise ValueError("FifoChain needs n >= 1")
+    parts = [f"Fifo1(x{i - 1};x{i})" for i in range(1, n + 1)]
+    body = "\n  mult ".join(parts)
+    return f"FifoChain(x0;x{n}) = {body}\n"

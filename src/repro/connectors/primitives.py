@@ -1,0 +1,410 @@
+"""Primitive arc types and their "small automata" (paper Figs. 6–7).
+
+Each primitive type knows its arity discipline and how to build the
+constraint automaton that gives the primitive its semantics (the ``aut``
+function of §III.B).  The set covers Fig. 6 — ``sync``, ``fifo`` (unbounded),
+``fifo1``/``fifon``, ``seq2``/``seqn``, ``mergn``, ``repln`` — plus the
+standard extended repertoire from the Reo literature the paper builds on:
+``lossysync``, ``syncdrain``, ``syncspout``, ``router`` (exclusive router),
+``filter`` and ``transform``, and initialized fifos (``fifo1_full``) needed
+for token-ring connectors such as the sequencer.
+
+Buffered primitives also record their *decoupled form* (two single-state
+half-automata sharing only the buffer) in ``meta["decoupled"]``; see
+:mod:`repro.automata.partition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.automata.automaton import BufferSpec, ConstraintAutomaton, Transition
+from repro.automata.constraint import App, Buf, Eq, NotEmpty, NotFull, Pop, Pred, Push, V
+from repro.automata.partition import DECOUPLED_KEY
+from repro.connectors.graph import Arc
+from repro.util.errors import WellFormednessError
+
+
+@dataclass(frozen=True)
+class PrimitiveType:
+    """Arity discipline and automaton builder for one arc type.
+
+    ``n_tails``/``n_heads`` are exact counts, or ``"+"`` for "one or more",
+    or ``"*"`` for "any number".
+    """
+
+    name: str
+    n_tails: int | str
+    n_heads: int | str
+    build: Callable[[Arc, str], ConstraintAutomaton]
+    needs_buffer: bool = False
+
+    def check_arity(self, arc: Arc) -> None:
+        for got, want, side in (
+            (len(arc.tails), self.n_tails, "tails"),
+            (len(arc.heads), self.n_heads, "heads"),
+        ):
+            if want == "*":
+                continue
+            if want == "+":
+                if got < 1:
+                    raise WellFormednessError(
+                        f"{self.name} needs at least one {side[:-1]}, got {got}"
+                    )
+            elif got != want:
+                raise WellFormednessError(
+                    f"{self.name} needs exactly {want} {side}, got {got}"
+                )
+
+
+def _ca(
+    n_states: int,
+    initial: int,
+    vertices,
+    transitions,
+    buffers=(),
+    name="",
+    decoupled=None,
+) -> ConstraintAutomaton:
+    meta = {}
+    if decoupled is not None:
+        meta[DECOUPLED_KEY] = decoupled
+    return ConstraintAutomaton(
+        n_states=n_states,
+        initial=initial,
+        vertices=frozenset(vertices),
+        transitions=tuple(transitions),
+        buffers=tuple(buffers),
+        name=name,
+        meta=meta,
+    )
+
+
+# --------------------------------------------------------------------------
+# Synchronous primitives
+# --------------------------------------------------------------------------
+
+
+def _build_sync(arc: Arc, buf: str) -> ConstraintAutomaton:
+    a, b = arc.tails[0], arc.heads[0]
+    return _ca(
+        1, 0, (a, b),
+        [Transition(0, frozenset((a, b)), 0, (Eq(V(a), V(b)),))],
+        name=f"sync({a};{b})",
+    )
+
+
+def _build_lossysync(arc: Arc, buf: str) -> ConstraintAutomaton:
+    a, b = arc.tails[0], arc.heads[0]
+    return _ca(
+        1, 0, (a, b),
+        [
+            Transition(0, frozenset((a, b)), 0, (Eq(V(a), V(b)),)),
+            Transition(0, frozenset((a,)), 0),
+        ],
+        name=f"lossysync({a};{b})",
+    )
+
+
+def _build_syncdrain(arc: Arc, buf: str) -> ConstraintAutomaton:
+    a1, a2 = arc.tails
+    return _ca(
+        1, 0, (a1, a2),
+        [Transition(0, frozenset((a1, a2)), 0)],
+        name=f"syncdrain({a1},{a2};)",
+    )
+
+
+def _build_syncspout(arc: Arc, buf: str) -> ConstraintAutomaton:
+    b1, b2 = arc.heads
+    return _ca(
+        1, 0, (b1, b2),
+        [Transition(0, frozenset((b1, b2)), 0)],
+        name=f"syncspout(;{b1},{b2})",
+    )
+
+
+def _build_merger(arc: Arc, buf: str) -> ConstraintAutomaton:
+    h = arc.heads[0]
+    return _ca(
+        1, 0, arc.tails + (h,),
+        [
+            Transition(0, frozenset((t, h)), 0, (Eq(V(t), V(h)),))
+            for t in arc.tails
+        ],
+        name=f"merg{len(arc.tails)}",
+    )
+
+
+def _build_replicator(arc: Arc, buf: str) -> ConstraintAutomaton:
+    t = arc.tails[0]
+    return _ca(
+        1, 0, (t,) + arc.heads,
+        [
+            Transition(
+                0,
+                frozenset((t,) + arc.heads),
+                0,
+                tuple(Eq(V(t), V(h)) for h in arc.heads),
+            )
+        ],
+        name=f"repl{len(arc.heads)}",
+    )
+
+
+def _build_router(arc: Arc, buf: str) -> ConstraintAutomaton:
+    t = arc.tails[0]
+    return _ca(
+        1, 0, (t,) + arc.heads,
+        [
+            Transition(0, frozenset((t, h)), 0, (Eq(V(t), V(h)),))
+            for h in arc.heads
+        ],
+        name=f"router{len(arc.heads)}",
+    )
+
+
+def _build_filter(arc: Arc, buf: str) -> ConstraintAutomaton:
+    a, b = arc.tails[0], arc.heads[0]
+    pred = arc.param("pred")
+    if pred is None:
+        raise WellFormednessError("filter requires a 'pred' parameter")
+    return _ca(
+        1, 0, (a, b),
+        [
+            Transition(
+                0, frozenset((a, b)), 0, (Pred(pred, V(a)), Eq(V(a), V(b)))
+            ),
+            Transition(0, frozenset((a,)), 0, (Pred(pred, V(a), negate=True),)),
+        ],
+        name=f"filter[{pred}]({a};{b})",
+    )
+
+
+def _build_transform(arc: Arc, buf: str) -> ConstraintAutomaton:
+    a, b = arc.tails[0], arc.heads[0]
+    func = arc.param("func")
+    if func is None:
+        raise WellFormednessError("transform requires a 'func' parameter")
+    return _ca(
+        1, 0, (a, b),
+        [Transition(0, frozenset((a, b)), 0, (Eq(V(b), App(func, V(a))),))],
+        name=f"transform[{func}]({a};{b})",
+    )
+
+
+# --------------------------------------------------------------------------
+# Sequencing primitives
+# --------------------------------------------------------------------------
+
+
+def _build_seq(arc: Arc, buf: str) -> ConstraintAutomaton:
+    """``seqn``: in step i a message flows past tail i (and is lost), cyclically."""
+    tails = arc.tails
+    k = len(tails)
+    return _ca(
+        k, 0, tails,
+        [
+            Transition(i, frozenset((tails[i],)), (i + 1) % k)
+            for i in range(k)
+        ],
+        name=f"seq{k}",
+    )
+
+
+# --------------------------------------------------------------------------
+# Buffered primitives (with decoupled forms)
+# --------------------------------------------------------------------------
+
+
+def _halves(
+    a: str, b: str, spec: BufferSpec
+) -> tuple[ConstraintAutomaton, ConstraintAutomaton]:
+    """Writer/reader half-automata of a fifo over buffer ``spec``."""
+    q = spec.name
+    writer = _ca(
+        1, 0, (a,),
+        [Transition(0, frozenset((a,)), 0, (NotFull(q),), (Push(q, V(a)),))],
+        buffers=(spec,),
+        name=f"fifo-w({a})",
+    )
+    reader = _ca(
+        1, 0, (b,),
+        [
+            Transition(
+                0,
+                frozenset((b,)),
+                0,
+                (NotEmpty(q), Eq(V(b), Buf(q))),
+                (Pop(q),),
+            )
+        ],
+        buffers=(spec,),
+        name=f"fifo-r({b})",
+    )
+    return writer, reader
+
+
+def _build_fifon(arc: Arc, buf: str, capacity: int, initial: tuple = ()) -> ConstraintAutomaton:
+    """Bounded fifo with ``capacity`` cells: control states count occupancy."""
+    a, b = arc.tails[0], arc.heads[0]
+    spec = BufferSpec(buf, capacity=capacity, initial=initial)
+    q = spec.name
+    transitions = []
+    for k in range(capacity):
+        transitions.append(
+            Transition(k, frozenset((a,)), k + 1, (), (Push(q, V(a)),))
+        )
+    for k in range(1, capacity + 1):
+        transitions.append(
+            Transition(k, frozenset((b,)), k - 1, (Eq(V(b), Buf(q)),), (Pop(q),))
+        )
+    return _ca(
+        capacity + 1,
+        len(initial),
+        (a, b),
+        transitions,
+        buffers=(spec,),
+        name=f"fifo{capacity}({a};{b})",
+        decoupled=_halves(a, b, spec),
+    )
+
+
+def _build_fifo1(arc: Arc, buf: str) -> ConstraintAutomaton:
+    return _build_fifon(arc, buf, 1)
+
+
+def _build_fifo1_full(arc: Arc, buf: str) -> ConstraintAutomaton:
+    initial = arc.param("initial", "token")
+    return _build_fifon(arc, buf, 1, initial=(initial,))
+
+
+def _build_fifon_arc(arc: Arc, buf: str) -> ConstraintAutomaton:
+    capacity = arc.param("capacity")
+    if not isinstance(capacity, int) or capacity < 1:
+        raise WellFormednessError("fifon requires an integer 'capacity' >= 1")
+    initial = tuple(arc.param("initial", ()))
+    if len(initial) > capacity:
+        raise WellFormednessError("fifon initial contents exceed capacity")
+    return _build_fifon(arc, buf, capacity, initial=initial)
+
+
+def _build_fifo_unbounded(arc: Arc, buf: str) -> ConstraintAutomaton:
+    """The Foster–Chandy style unbounded fifo of Fig. 6(b): a send is always
+    accepted; a receive requires a buffered element."""
+    a, b = arc.tails[0], arc.heads[0]
+    spec = BufferSpec(buf, capacity=None, initial=tuple(arc.param("initial", ())))
+    q = spec.name
+    auto = _ca(
+        1, 0, (a, b),
+        [
+            Transition(0, frozenset((a,)), 0, (), (Push(q, V(a)),)),
+            Transition(
+                0, frozenset((b,)), 0, (NotEmpty(q), Eq(V(b), Buf(q))), (Pop(q),)
+            ),
+        ],
+        buffers=(spec,),
+        name=f"fifo∞({a};{b})",
+        decoupled=_halves(a, b, spec),
+    )
+    return auto
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+
+PRIMITIVES: dict[str, PrimitiveType] = {
+    p.name: p
+    for p in (
+        PrimitiveType("sync", 1, 1, _build_sync),
+        PrimitiveType("lossysync", 1, 1, _build_lossysync),
+        PrimitiveType("syncdrain", 2, 0, _build_syncdrain),
+        PrimitiveType("syncspout", 0, 2, _build_syncspout),
+        PrimitiveType("merger", "+", 1, _build_merger),
+        PrimitiveType("replicator", 1, "+", _build_replicator),
+        PrimitiveType("router", 1, "+", _build_router),
+        PrimitiveType("filter", 1, 1, _build_filter),
+        PrimitiveType("transform", 1, 1, _build_transform),
+        PrimitiveType("seq", "+", 0, _build_seq),
+        PrimitiveType("fifo1", 1, 1, _build_fifo1, needs_buffer=True),
+        PrimitiveType("fifo1_full", 1, 1, _build_fifo1_full, needs_buffer=True),
+        PrimitiveType("fifon", 1, 1, _build_fifon_arc, needs_buffer=True),
+        PrimitiveType("fifo", 1, 1, _build_fifo_unbounded, needs_buffer=True),
+    )
+}
+
+#: DSL-facing aliases (the textual syntax uses capitalized names, Fig. 8/9).
+ALIASES: dict[str, str] = {
+    "Sync": "sync",
+    "LossySync": "lossysync",
+    "SyncDrain": "syncdrain",
+    "SyncSpout": "syncspout",
+    "Merger": "merger",
+    "Replicator": "replicator",
+    "Router": "router",
+    "Filter": "filter",
+    "Transform": "transform",
+    "Fifo1": "fifo1",
+    "Fifo1Full": "fifo1_full",
+    "FifoN": "fifon",
+    "Fifo": "fifo",
+}
+
+
+def primitive_type(name: str) -> PrimitiveType | None:
+    """Resolve ``name`` (canonical, alias, or ``Seq2``/``Merg3``-style
+    arity-suffixed form) to a :class:`PrimitiveType`, or ``None``."""
+    if name in PRIMITIVES:
+        return PRIMITIVES[name]
+    if name in ALIASES:
+        return PRIMITIVES[ALIASES[name]]
+    # Arity-suffixed spellings used in the paper: Seq2, Repl2, Merg2, ...
+    stem = name.rstrip("0123456789")
+    suffixed = {
+        "Seq": "seq",
+        "Merg": "merger",
+        "Merger": "merger",
+        "Repl": "replicator",
+        "Replicator": "replicator",
+        "Router": "router",
+        "Fifo": None,  # Fifo3 = fifon capacity 3, special-cased below
+    }
+    if stem in suffixed and stem != name:
+        if stem == "Fifo":
+            return PRIMITIVES["fifon"]
+        return PRIMITIVES[suffixed[stem]]
+    return None
+
+
+def arity_suffix(name: str) -> int | None:
+    """The numeric suffix of an arity-suffixed primitive name, if any."""
+    stem = name.rstrip("0123456789")
+    if stem != name and stem in ("Seq", "Merg", "Merger", "Repl", "Replicator", "Router", "Fifo"):
+        return int(name[len(stem):])
+    return None
+
+
+def build_automaton(arc: Arc, buffer_name: str) -> ConstraintAutomaton:
+    """Build the small automaton for ``arc`` (the ``aut`` function, §III.B).
+
+    ``buffer_name`` is the globally unique name to use for the arc's buffer
+    if it has one; the caller (graph/compiler) is responsible for
+    uniqueness across a composition.
+    """
+    ptype = PRIMITIVES.get(arc.type)
+    if ptype is None:
+        raise WellFormednessError(f"unknown primitive type {arc.type!r}")
+    ptype.check_arity(arc)
+    return ptype.build(arc, buffer_name)
+
+
+def graph_to_automata(graph, prefix: str = "q") -> list[ConstraintAutomaton]:
+    """Translate every arc of a :class:`ConnectorGraph` to its small
+    automaton, assigning unique buffer names ``{prefix}0, {prefix}1, ...``."""
+    out = []
+    for i, arc in enumerate(graph.arcs):
+        out.append(build_automaton(arc, f"{prefix}{i}"))
+    return out

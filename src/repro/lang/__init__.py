@@ -1,0 +1,71 @@
+"""The paper's new textual syntax and its front-end (§IV.B, Figs. 8–9).
+
+Pipeline: :mod:`repro.lang.lexer` tokenizes protocol source,
+:mod:`repro.lang.parser` produces the AST of :mod:`repro.lang.ast`,
+:mod:`repro.lang.flatten` in-lines composite constituents with fresh local
+names (§IV.C "the first step is to flatten"), and
+:mod:`repro.lang.normalize` reorders flattened bodies into the normal form
+(constituents, then iterations, then conditionals).
+:mod:`repro.lang.graph2text` is the graph-to-text translator of Fig. 11.
+"""
+
+from repro.lang.ast import (
+    Program,
+    ConnectorDef,
+    MainDef,
+    Param,
+    Instance,
+    Mult,
+    If,
+    Prod,
+    Ref,
+    SliceRef,
+    Num,
+    Var,
+    Len,
+    BinOp,
+    Neg,
+    Cmp,
+    BoolOp,
+    NotOp,
+    TaskInst,
+    Forall,
+)
+from repro.lang.lexer import tokenize, Token
+from repro.lang.parser import parse
+from repro.lang.flatten import flatten, FPrim, FIf, FProd
+from repro.lang.normalize import normalize, NormalForm
+from repro.lang.graph2text import graph_to_text
+
+__all__ = [
+    "Program",
+    "ConnectorDef",
+    "MainDef",
+    "Param",
+    "Instance",
+    "Mult",
+    "If",
+    "Prod",
+    "Ref",
+    "SliceRef",
+    "Num",
+    "Var",
+    "Len",
+    "BinOp",
+    "Neg",
+    "Cmp",
+    "BoolOp",
+    "NotOp",
+    "TaskInst",
+    "Forall",
+    "tokenize",
+    "Token",
+    "parse",
+    "flatten",
+    "FPrim",
+    "FIf",
+    "FProd",
+    "normalize",
+    "NormalForm",
+    "graph_to_text",
+]

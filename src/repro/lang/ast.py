@@ -1,0 +1,304 @@
+"""Abstract syntax of the textual protocol DSL (paper §IV.B).
+
+The grammar (Figs. 8–9 of the paper, EBNF-style)::
+
+    program   := (connectordef | maindef)*
+    connectordef := IDENT '(' params ';' params ')' '=' expr
+    params    := (param (',' param)*)?
+    param     := IDENT ('[' ']')?
+    expr      := term ('mult' term)*
+    term      := instance | ifterm | prodterm | '(' expr ')' | '{' expr '}'
+    ifterm    := 'if' '(' bexpr ')' '{' expr '}' ('else' ('{' expr '}' | ifterm))?
+    prodterm  := 'prod' '(' IDENT ':' aexpr '..' aexpr ')' term
+    instance  := dotted ('<' cparam (',' cparam)* '>')? '(' args (';' args)? ')'
+    dotted    := IDENT ('.' IDENT)*
+    cparam    := IDENT | NUMBER
+    args      := (arg (',' arg)*)?
+    arg       := IDENT ('[' aexpr ('..' aexpr)? ']')?
+    aexpr     := arithmetic over NUMBER, IDENT, '#'IDENT with + - * / % and parens
+    bexpr     := boolean over comparisons with && || ! and parens
+    maindef   := 'main' ('(' IDENT (',' IDENT)* ')')? '='
+                 instance ('among' taskterm ('and' taskterm)*)?
+    taskterm  := 'forall' '(' IDENT ':' aexpr '..' aexpr ')' taskterm
+               | dotted '(' args ')'
+
+Arrays are 1-based, as in the paper (``tl[1]``, ranges ``1..#tl``).  ``<…>``
+carries primitive options (e.g. ``Filter<even>(a;b)``,
+``FifoN<4>(a;b)``) — an extension beyond the paper needed for the filter/
+transform primitives of the wider Reo repertoire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Arithmetic expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """An iteration variable or main parameter."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Len:
+    """``#arr`` — the length of array parameter ``arr`` (paper Fig. 9)."""
+
+    array: str
+
+    def __str__(self) -> str:
+        return f"#{self.array}"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # '+', '-', '*', '/', '%'
+    left: "AExpr"
+    right: "AExpr"
+
+    def __str__(self) -> str:
+        return f"({self.left}{self.op}{self.right})"
+
+
+@dataclass(frozen=True)
+class Neg:
+    expr: "AExpr"
+
+    def __str__(self) -> str:
+        return f"(-{self.expr})"
+
+
+AExpr = Num | Var | Len | BinOp | Neg
+
+
+# --------------------------------------------------------------------------
+# Boolean expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cmp:
+    op: str  # '==', '!=', '<', '<=', '>', '>='
+    left: AExpr
+    right: AExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # '&&', '||'
+    left: "BExpr"
+    right: "BExpr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    expr: "BExpr"
+
+    def __str__(self) -> str:
+        return f"(!{self.expr})"
+
+
+BExpr = Cmp | BoolOp | NotOp
+
+
+# --------------------------------------------------------------------------
+# Vertex references (instance arguments)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Ref:
+    """A scalar reference ``x`` or an indexed reference ``x[e]``."""
+
+    name: str
+    index: AExpr | None = None
+
+    def __str__(self) -> str:
+        return self.name if self.index is None else f"{self.name}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class SliceRef:
+    """An array slice ``x[lo..hi]`` (1-based, inclusive)."""
+
+    name: str
+    lo: AExpr
+    hi: AExpr
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.lo}..{self.hi}]"
+
+
+Arg = Ref | SliceRef
+
+
+# --------------------------------------------------------------------------
+# Connector expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An instantiated signature: a primitive or composite constituent."""
+
+    name: str
+    tails: tuple[Arg, ...]
+    heads: tuple[Arg, ...]
+    cparams: tuple[object, ...] = ()  # '<…>' options (str or int)
+    line: int = 0
+
+    def __str__(self) -> str:
+        opts = f"<{','.join(map(str, self.cparams))}>" if self.cparams else ""
+        return (
+            f"{self.name}{opts}({','.join(map(str, self.tails))};"
+            f"{','.join(map(str, self.heads))})"
+        )
+
+
+@dataclass(frozen=True)
+class Mult:
+    """Composition of constituents (the ``mult`` keyword, alluding to ×)."""
+
+    items: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return " mult ".join(map(str, self.items))
+
+
+@dataclass(frozen=True)
+class If:
+    cond: BExpr
+    then: "Expr"
+    els: "Expr | None" = None
+
+    def __str__(self) -> str:
+        s = f"if ({self.cond}) {{ {self.then} }}"
+        if self.els is not None:
+            s += f" else {{ {self.els} }}"
+        return s
+
+
+@dataclass(frozen=True)
+class Prod:
+    """Iterated composition ``prod (i:lo..hi) body`` (paper Fig. 9)."""
+
+    var: str
+    lo: AExpr
+    hi: AExpr
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"prod ({self.var}:{self.lo}..{self.hi}) {{ {self.body} }}"
+
+
+Expr = Instance | Mult | If | Prod
+
+
+# --------------------------------------------------------------------------
+# Definitions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+    is_array: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.name}[]" if self.is_array else self.name
+
+
+@dataclass(frozen=True)
+class ConnectorDef:
+    name: str
+    tails: tuple[Param, ...]
+    heads: tuple[Param, ...]
+    body: Expr
+    line: int = 0
+
+    @property
+    def params(self) -> tuple[Param, ...]:
+        return self.tails + self.heads
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}({','.join(map(str, self.tails))};"
+            f"{','.join(map(str, self.heads))}) = {self.body}"
+        )
+
+
+@dataclass(frozen=True)
+class TaskInst:
+    """A task instantiation in ``main`` (e.g. ``Tasks.pro(out[i])``)."""
+
+    name: str  # dotted
+    args: tuple[Arg, ...]
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.name}({','.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Forall:
+    """Replicated task spawning: ``forall (i:lo..hi) task`` (Fig. 9)."""
+
+    var: str
+    lo: AExpr
+    hi: AExpr
+    body: "TaskTerm"
+
+    def __str__(self) -> str:
+        return f"forall ({self.var}:{self.lo}..{self.hi}) {self.body}"
+
+
+TaskTerm = TaskInst | Forall
+
+
+@dataclass(frozen=True)
+class MainDef:
+    params: tuple[str, ...]
+    connector: Instance
+    tasks: tuple[TaskTerm, ...]
+    line: int = 0
+
+    def __str__(self) -> str:
+        head = f"main({','.join(self.params)})" if self.params else "main"
+        s = f"{head} = {self.connector}"
+        if self.tasks:
+            s += " among " + " and ".join(map(str, self.tasks))
+        return s
+
+
+@dataclass
+class Program:
+    defs: dict[str, ConnectorDef] = field(default_factory=dict)
+    main: MainDef | None = None
+
+    def __str__(self) -> str:
+        parts = [str(d) for d in self.defs.values()]
+        if self.main is not None:
+            parts.append(str(self.main))
+        return "\n".join(parts)

@@ -1,0 +1,501 @@
+"""Flattening: in-lining composite constituents (paper §IV.C, Ex. 9).
+
+"To compile a connector definition, the first step is to flatten its body:
+all (non-primitive) constituents that occur in the body are (recursively)
+expanded and in-lined.  Local variables in-lined in this way first need to
+be renamed to ensure they have unique names."
+
+The result is a tree over three node kinds only:
+
+* :class:`FPrim` — an instantiated *primitive* signature whose vertex and
+  buffer names are :class:`NameExpr` values: a base name plus index
+  expressions over iteration variables and array lengths (these stay
+  symbolic — they are the part "deferred to run-time");
+* :class:`FProd` — an iteration whose body is flattened;
+* :class:`FIf` — a conditional whose branches are flattened;
+
+plus :class:`FList` sequencing (the ``mult`` composition).
+
+Scoping rules implemented here:
+
+* formal parameters are bound positionally at instantiation (scalars to
+  vertex references, arrays to slices or whole arrays);
+* local variables are statically scoped to one *instantiation* of their
+  definition: inlining a composite under ``k`` nested ``prod`` iterations
+  gives its locals ``k`` index dimensions (one vertex per iteration
+  combination), while a definition's own locals are shared across its own
+  ``prod`` bodies unless the programmer indexes them explicitly (Fig. 9
+  writes ``prev[i]``, not ``prev``);
+* ``prod`` iteration variables are renamed apart to prevent capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.connectors.primitives import arity_suffix, primitive_type
+from repro.lang import ast
+from repro.util.errors import ScopeError, WellFormednessError
+from repro.util.naming import FreshNames
+
+
+# --------------------------------------------------------------------------
+# Symbolic names
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NameExpr:
+    """A symbolic vertex/buffer name: base plus index expressions.
+
+    ``formal`` marks bases that are formal parameters of the *target*
+    definition (resolved to actual port vertices at instantiation time);
+    other bases are compiler-generated locals.
+    """
+
+    base: str
+    indices: tuple[ast.AExpr, ...] = ()
+    formal: bool = False
+
+    def canonical(self) -> str:
+        """Deterministic string form; two NameExprs denote the same vertex
+        within one compilation iff their canonical forms are equal."""
+        if not self.indices:
+            return self.base
+        return f"{self.base}[{','.join(str(i) for i in self.indices)}]"
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+# --------------------------------------------------------------------------
+# Flattened nodes
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FPrim:
+    """An instantiated primitive constituent."""
+
+    ptype: str  # canonical primitive type name
+    tails: tuple[NameExpr, ...]
+    heads: tuple[NameExpr, ...]
+    params: tuple[tuple[str, object], ...] = ()
+    buffer: NameExpr | None = None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.ptype}({','.join(map(str, self.tails))};"
+            f"{','.join(map(str, self.heads))})"
+        )
+
+
+@dataclass(frozen=True)
+class FProd:
+    var: str
+    lo: ast.AExpr
+    hi: ast.AExpr
+    body: "FNode"
+
+    def __str__(self) -> str:
+        return f"prod ({self.var}:{self.lo}..{self.hi}) {{ {self.body} }}"
+
+
+@dataclass(frozen=True)
+class FIf:
+    cond: ast.BExpr
+    then: "FNode"
+    els: "FNode | None"
+
+    def __str__(self) -> str:
+        s = f"if ({self.cond}) {{ {self.then} }}"
+        if self.els is not None:
+            s += f" else {{ {self.els} }}"
+        return s
+
+
+@dataclass(frozen=True)
+class FList:
+    items: tuple["FNode", ...]
+
+    def __str__(self) -> str:
+        return " mult ".join(map(str, self.items)) or "<empty>"
+
+
+FNode = FPrim | FProd | FIf | FList
+
+
+# --------------------------------------------------------------------------
+# Bindings
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _VertexBinding:
+    expr: NameExpr
+
+
+@dataclass(frozen=True)
+class _ArrayBinding:
+    base: str
+    prefix: tuple[ast.AExpr, ...]  # index dims fixed by the inline site
+    offset: ast.AExpr  # 0-based start within the underlying array
+    length: ast.AExpr | None  # None for local arrays (no queryable length)
+    formal: bool
+
+    def element(self, index: ast.AExpr) -> NameExpr:
+        shifted = _simplify_add(self.offset, index)
+        return NameExpr(self.base, self.prefix + (shifted,), self.formal)
+
+
+@dataclass(frozen=True)
+class _ExprBinding:
+    """A ``prod`` iteration variable (already renamed apart)."""
+
+    expr: ast.AExpr
+
+
+_Binding = _VertexBinding | _ArrayBinding | _ExprBinding
+
+
+def _simplify_add(offset: ast.AExpr, index: ast.AExpr) -> ast.AExpr:
+    """``offset + index`` with constant folding for the common zero case."""
+    if isinstance(offset, ast.Num):
+        if offset.value == 0:
+            return index
+        if isinstance(index, ast.Num):
+            return ast.Num(offset.value + index.value)
+    return ast.BinOp("+", offset, index)
+
+
+# --------------------------------------------------------------------------
+# Scope
+# --------------------------------------------------------------------------
+
+
+class _Scope:
+    """One definition instantiation: formal bindings + lazily created locals."""
+
+    def __init__(
+        self,
+        defname: str,
+        bindings: dict[str, _Binding],
+        site_indices: tuple[ast.AExpr, ...],
+        fresh: FreshNames,
+    ):
+        self.defname = defname
+        self.bindings = bindings
+        self.site_indices = site_indices
+        self.fresh = fresh
+        self._local_prefix: str | None = None
+        self._local_arrays: set[str] = set()
+        self._local_scalars: set[str] = set()
+
+    def _prefix(self) -> str:
+        if self._local_prefix is None:
+            self._local_prefix = self.fresh.fresh(self.defname)
+        return self._local_prefix
+
+    def lookup(self, name: str) -> _Binding | None:
+        return self.bindings.get(name)
+
+    def local_scalar(self, name: str) -> NameExpr:
+        if name in self._local_arrays:
+            raise ScopeError(
+                f"local {name!r} used both as scalar and as array in {self.defname!r}"
+            )
+        self._local_scalars.add(name)
+        return NameExpr(f"{self._prefix()}${name}", self.site_indices)
+
+    def local_array(self, name: str) -> _ArrayBinding:
+        if name in self._local_scalars:
+            raise ScopeError(
+                f"local {name!r} used both as scalar and as array in {self.defname!r}"
+            )
+        self._local_arrays.add(name)
+        return _ArrayBinding(
+            base=f"{self._prefix()}${name}",
+            prefix=self.site_indices,
+            offset=ast.Num(0),
+            length=None,
+            formal=False,
+        )
+
+
+# --------------------------------------------------------------------------
+# Expression substitution
+# --------------------------------------------------------------------------
+
+
+def _subst_aexpr(e: ast.AExpr, scope: _Scope) -> ast.AExpr:
+    if isinstance(e, ast.Num):
+        return e
+    if isinstance(e, ast.Var):
+        b = scope.lookup(e.name)
+        if isinstance(b, _ExprBinding):
+            return b.expr
+        if b is None:
+            raise ScopeError(
+                f"unbound variable {e.name!r} in arithmetic expression "
+                f"(in {scope.defname!r})"
+            )
+        raise ScopeError(
+            f"{e.name!r} names a vertex parameter, not an integer "
+            f"(in {scope.defname!r})"
+        )
+    if isinstance(e, ast.Len):
+        b = scope.lookup(e.array)
+        if isinstance(b, _ArrayBinding):
+            if b.length is None:
+                raise ScopeError(
+                    f"#{e.array}: local arrays have no defined length "
+                    f"(in {scope.defname!r})"
+                )
+            return b.length
+        raise ScopeError(
+            f"#{e.array}: {e.array!r} is not an array parameter "
+            f"(in {scope.defname!r})"
+        )
+    if isinstance(e, ast.BinOp):
+        return ast.BinOp(e.op, _subst_aexpr(e.left, scope), _subst_aexpr(e.right, scope))
+    if isinstance(e, ast.Neg):
+        return ast.Neg(_subst_aexpr(e.expr, scope))
+    raise TypeError(f"not an arithmetic expression: {e!r}")
+
+
+def _subst_bexpr(e: ast.BExpr, scope: _Scope) -> ast.BExpr:
+    if isinstance(e, ast.Cmp):
+        return ast.Cmp(e.op, _subst_aexpr(e.left, scope), _subst_aexpr(e.right, scope))
+    if isinstance(e, ast.BoolOp):
+        return ast.BoolOp(e.op, _subst_bexpr(e.left, scope), _subst_bexpr(e.right, scope))
+    if isinstance(e, ast.NotOp):
+        return ast.NotOp(_subst_bexpr(e.expr, scope))
+    raise TypeError(f"not a boolean expression: {e!r}")
+
+
+# --------------------------------------------------------------------------
+# Argument resolution
+# --------------------------------------------------------------------------
+
+
+def _resolve_vertex(arg: ast.Arg, scope: _Scope) -> NameExpr:
+    """Resolve an argument to a single vertex NameExpr."""
+    if isinstance(arg, ast.SliceRef):
+        raise ScopeError(
+            f"array slice {arg} used where a single vertex is expected "
+            f"(in {scope.defname!r})"
+        )
+    b = scope.lookup(arg.name)
+    if arg.index is not None:
+        index = _subst_aexpr(arg.index, scope)
+        if isinstance(b, _ArrayBinding):
+            return b.element(index)
+        if b is None:
+            return scope.local_array(arg.name).element(index)
+        raise ScopeError(
+            f"{arg.name!r} is not an array but is indexed (in {scope.defname!r})"
+        )
+    if isinstance(b, _VertexBinding):
+        return b.expr
+    if isinstance(b, _ArrayBinding):
+        raise ScopeError(
+            f"array {arg.name!r} used as a single vertex (in {scope.defname!r})"
+        )
+    if isinstance(b, _ExprBinding):
+        raise ScopeError(
+            f"iteration variable {arg.name!r} used as a vertex (in {scope.defname!r})"
+        )
+    return scope.local_scalar(arg.name)
+
+
+def _resolve_array(arg: ast.Arg, scope: _Scope) -> _ArrayBinding:
+    """Resolve an argument to an array binding (for array formals)."""
+    b = scope.lookup(arg.name)
+    if isinstance(arg, ast.SliceRef):
+        lo = _subst_aexpr(arg.lo, scope)
+        hi = _subst_aexpr(arg.hi, scope)
+        if b is None:
+            b = scope.local_array(arg.name)
+        if not isinstance(b, _ArrayBinding):
+            raise ScopeError(
+                f"{arg.name!r} is not an array but is sliced (in {scope.defname!r})"
+            )
+        return _ArrayBinding(
+            base=b.base,
+            prefix=b.prefix,
+            offset=_simplify_add(b.offset, ast.BinOp("-", lo, ast.Num(1))),
+            length=ast.BinOp("+", ast.BinOp("-", hi, lo), ast.Num(1)),
+            formal=b.formal,
+        )
+    if isinstance(b, _ArrayBinding) and arg.index is None:
+        return b
+    raise ScopeError(
+        f"argument {arg} cannot be passed for an array parameter "
+        f"(in {scope.defname!r})"
+    )
+
+
+# --------------------------------------------------------------------------
+# The flattener
+# --------------------------------------------------------------------------
+
+
+class _Flattener:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.fresh = FreshNames()
+        self._stack: list[str] = []
+
+    def flatten_def(self, defname: str) -> FNode:
+        d = self.program.defs.get(defname)
+        if d is None:
+            raise ScopeError(f"no definition named {defname!r}")
+        bindings: dict[str, _Binding] = {}
+        for p in d.params:
+            if p.is_array:
+                bindings[p.name] = _ArrayBinding(
+                    base=p.name,
+                    prefix=(),
+                    offset=ast.Num(0),
+                    length=ast.Len(p.name),
+                    formal=True,
+                )
+            else:
+                bindings[p.name] = _VertexBinding(NameExpr(p.name, (), formal=True))
+        scope = _Scope(d.name, bindings, (), self.fresh)
+        self._stack.append(defname)
+        try:
+            return self._expr(d.body, scope, prod_stack=())
+        finally:
+            self._stack.pop()
+
+    # -- expression dispatch ------------------------------------------------
+
+    def _expr(self, e: ast.Expr, scope: _Scope, prod_stack: tuple) -> FNode:
+        if isinstance(e, ast.Mult):
+            return FList(tuple(self._expr(item, scope, prod_stack) for item in e.items))
+        if isinstance(e, ast.If):
+            cond = _subst_bexpr(e.cond, scope)
+            then = self._expr(e.then, scope, prod_stack)
+            els = self._expr(e.els, scope, prod_stack) if e.els is not None else None
+            return FIf(cond, then, els)
+        if isinstance(e, ast.Prod):
+            newvar = self.fresh.fresh(e.var)
+            lo = _subst_aexpr(e.lo, scope)
+            hi = _subst_aexpr(e.hi, scope)
+            inner = _Scope(scope.defname, dict(scope.bindings), scope.site_indices, self.fresh)
+            # Share the lazily-created local namespace with the outer scope:
+            # a definition's locals are def-scoped, prods do not open a new
+            # local scope.
+            inner._local_prefix = scope._prefix()
+            inner._local_arrays = scope._local_arrays
+            inner._local_scalars = scope._local_scalars
+            inner.bindings[e.var] = _ExprBinding(ast.Var(newvar))
+            body = self._expr(e.body, inner, prod_stack + (ast.Var(newvar),))
+            return FProd(newvar, lo, hi, body)
+        if isinstance(e, ast.Instance):
+            return self._instance(e, scope, prod_stack)
+        raise TypeError(f"not a connector expression: {e!r}")
+
+    # -- instances -------------------------------------------------------------
+
+    def _instance(self, inst: ast.Instance, scope: _Scope, prod_stack: tuple) -> FNode:
+        ptype = primitive_type(inst.name)
+        if ptype is not None and inst.name not in self.program.defs:
+            return self._primitive(inst, ptype, scope, prod_stack)
+        d = self.program.defs.get(inst.name)
+        if d is None:
+            raise ScopeError(
+                f"unknown constituent {inst.name!r} (line {inst.line}): neither a "
+                "primitive nor a defined connector"
+            )
+        if inst.name in self._stack:
+            raise ScopeError(
+                f"recursive connector definition {inst.name!r} "
+                f"(instantiation cycle: {' -> '.join(self._stack + [inst.name])})"
+            )
+        if len(inst.tails) != len(d.tails) or len(inst.heads) != len(d.heads):
+            raise ScopeError(
+                f"{inst.name}: arity mismatch at line {inst.line}: expected "
+                f"({len(d.tails)};{len(d.heads)}) arguments, got "
+                f"({len(inst.tails)};{len(inst.heads)})"
+            )
+        bindings: dict[str, _Binding] = {}
+        for param, arg in zip(d.params, inst.tails + inst.heads):
+            if param.is_array:
+                bindings[param.name] = _resolve_array(arg, scope)
+            else:
+                bindings[param.name] = _VertexBinding(_resolve_vertex(arg, scope))
+        inner = _Scope(d.name, bindings, prod_stack, self.fresh)
+        self._stack.append(inst.name)
+        try:
+            return self._expr(d.body, inner, prod_stack)
+        finally:
+            self._stack.pop()
+
+    def _primitive(
+        self, inst: ast.Instance, ptype, scope: _Scope, prod_stack: tuple
+    ) -> FPrim:
+        tails = tuple(_resolve_vertex(a, scope) for a in inst.tails)
+        heads = tuple(_resolve_vertex(a, scope) for a in inst.heads)
+
+        params: dict[str, object] = {}
+        suffix = arity_suffix(inst.name)
+        if ptype.name == "fifon":
+            # 'Fifo3(a;b)' or 'FifoN<3>(a;b)'
+            capacity = suffix
+            if capacity is None and inst.cparams:
+                capacity = inst.cparams[0]
+            if not isinstance(capacity, int):
+                raise WellFormednessError(
+                    f"{inst.name} (line {inst.line}): fifon needs an integer "
+                    "capacity, e.g. Fifo3(a;b) or FifoN<3>(a;b)"
+                )
+            params["capacity"] = capacity
+        elif suffix is not None:
+            want = len(tails) if ptype.name in ("seq", "merger") else len(heads)
+            if suffix != want:
+                raise WellFormednessError(
+                    f"{inst.name} (line {inst.line}): arity suffix {suffix} does "
+                    f"not match the {want} given vertices"
+                )
+        if ptype.name == "filter":
+            if not inst.cparams:
+                raise WellFormednessError(
+                    f"{inst.name} (line {inst.line}): filter needs a predicate, "
+                    "e.g. Filter<even>(a;b)"
+                )
+            params["pred"] = str(inst.cparams[0])
+        if ptype.name == "transform":
+            if not inst.cparams:
+                raise WellFormednessError(
+                    f"{inst.name} (line {inst.line}): transform needs a function, "
+                    "e.g. Transform<inc>(a;b)"
+                )
+            params["func"] = str(inst.cparams[0])
+        if ptype.name == "fifo1_full" and inst.cparams:
+            params["initial"] = inst.cparams[0]
+
+        # Dedicated arity check with resolved vertex counts.
+        from repro.connectors.graph import Arc
+
+        probe = Arc(ptype.name, tuple(t.canonical() for t in tails),
+                    tuple(h.canonical() for h in heads),
+                    tuple(sorted(params.items())))
+        ptype.check_arity(probe)
+
+        buffer = None
+        if ptype.needs_buffer:
+            buffer = NameExpr(self.fresh.fresh("q"), tuple(prod_stack))
+        return FPrim(
+            ptype.name,
+            tails,
+            heads,
+            tuple(sorted(params.items())),
+            buffer,
+        )
+
+
+def flatten(program: ast.Program, defname: str) -> FNode:
+    """Flatten definition ``defname`` of ``program`` (paper §IV.C step 1)."""
+    return _Flattener(program).flatten_def(defname)

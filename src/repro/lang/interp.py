@@ -1,0 +1,92 @@
+"""Evaluation of DSL index/condition expressions at instantiation time.
+
+After flattening, the arithmetic expressions left in the plan refer only to
+iteration variables (bound while walking ``prod`` nodes) and array lengths
+(``#tl``, bound once the connector is linked to concrete port arrays).
+This module evaluates them — the "run-time share" of the parametrized
+compilation approach (§IV.C/D).
+
+Division is integer (floor) division; ranges ``lo..hi`` are inclusive and
+empty when ``lo > hi``.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.util.errors import ScopeError
+
+
+class Env:
+    """Evaluation environment: iteration variables and array lengths."""
+
+    def __init__(self, variables: dict[str, int] | None = None,
+                 lengths: dict[str, int] | None = None):
+        self.variables = dict(variables or {})
+        self.lengths = dict(lengths or {})
+
+    def bind(self, var: str, value: int) -> "Env":
+        child = Env(self.variables, self.lengths)
+        child.variables[var] = value
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Env(vars={self.variables}, lengths={self.lengths})"
+
+
+def eval_aexpr(e: ast.AExpr, env: Env) -> int:
+    if isinstance(e, ast.Num):
+        return e.value
+    if isinstance(e, ast.Var):
+        try:
+            return env.variables[e.name]
+        except KeyError:
+            raise ScopeError(f"unbound variable {e.name!r} at instantiation") from None
+    if isinstance(e, ast.Len):
+        try:
+            return env.lengths[e.array]
+        except KeyError:
+            raise ScopeError(
+                f"#{e.array}: array length unknown at instantiation"
+            ) from None
+    if isinstance(e, ast.BinOp):
+        left = eval_aexpr(e.left, env)
+        right = eval_aexpr(e.right, env)
+        if e.op == "+":
+            return left + right
+        if e.op == "-":
+            return left - right
+        if e.op == "*":
+            return left * right
+        if e.op == "/":
+            if right == 0:
+                raise ScopeError("division by zero in index expression")
+            return left // right
+        if e.op == "%":
+            if right == 0:
+                raise ScopeError("modulo by zero in index expression")
+            return left % right
+        raise ScopeError(f"unknown arithmetic operator {e.op!r}")
+    if isinstance(e, ast.Neg):
+        return -eval_aexpr(e.expr, env)
+    raise TypeError(f"not an arithmetic expression: {e!r}")
+
+
+def eval_bexpr(e: ast.BExpr, env: Env) -> bool:
+    if isinstance(e, ast.Cmp):
+        left = eval_aexpr(e.left, env)
+        right = eval_aexpr(e.right, env)
+        return {
+            "==": left == right,
+            "!=": left != right,
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }[e.op]
+    if isinstance(e, ast.BoolOp):
+        if e.op == "&&":
+            return eval_bexpr(e.left, env) and eval_bexpr(e.right, env)
+        return eval_bexpr(e.left, env) or eval_bexpr(e.right, env)
+    if isinstance(e, ast.NotOp):
+        return not eval_bexpr(e.expr, env)
+    raise TypeError(f"not a boolean expression: {e!r}")

@@ -1,0 +1,84 @@
+"""Tokenizer for the textual protocol DSL.
+
+Hand-rolled, line/column-tracking; comments run from ``//`` to end of line.
+``..`` (range), ``&&``, ``||``, ``==``, ``!=``, ``<=``, ``>=`` are single
+tokens; everything else is single-character punctuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ParseError
+
+KEYWORDS = frozenset(
+    {"mult", "prod", "if", "else", "main", "among", "and", "forall"}
+)
+
+_TWO_CHAR = ("..", "&&", "||", "==", "!=", "<=", ">=")
+_ONE_CHAR = "()[]{};,.#<>=!+-*/%:"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'keyword', 'number', 'punct', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return "end of input" if self.kind == "eof" else repr(self.text)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on illegal characters."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("number", source[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("punct", two, line, col))
+            i += 2
+            col += 2
+            continue
+        if c in _ONE_CHAR:
+            tokens.append(Token("punct", c, line, col))
+            i += 1
+            col += 1
+            continue
+        raise ParseError(f"illegal character {c!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,87 @@
+"""Normal form of flattened bodies (paper §IV.C, Ex. 10).
+
+"An expression is in normal form iff, from left to right (separated by
+``mult``), it consists of: first a section with only (primitive)
+constituents, then a section with only iteration expressions, and finally a
+section with only conditional expressions; nested expressions are in normal
+form.  Computing normal forms is computationally easy."
+
+The reordering is semantics-preserving because ``mult`` (the automaton
+product ×) is associative and commutative (§III.A/IV.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.flatten import FIf, FList, FNode, FPrim, FProd
+
+
+@dataclass
+class NormalForm:
+    """One normalized level: constituents, then iterations, then conditionals."""
+
+    prims: list[FPrim] = field(default_factory=list)
+    prods: list["NormalProd"] = field(default_factory=list)
+    conds: list["NormalCond"] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.prims or self.prods or self.conds)
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.prims]
+        parts += [str(p) for p in self.prods]
+        parts += [str(c) for c in self.conds]
+        return " mult ".join(parts) or "<empty>"
+
+
+@dataclass
+class NormalProd:
+    var: str
+    lo: object  # ast.AExpr
+    hi: object
+    body: NormalForm
+
+    def __str__(self) -> str:
+        return f"prod ({self.var}:{self.lo}..{self.hi}) {{ {self.body} }}"
+
+
+@dataclass
+class NormalCond:
+    cond: object  # ast.BExpr
+    then: NormalForm
+    els: NormalForm | None
+
+    def __str__(self) -> str:
+        s = f"if ({self.cond}) {{ {self.then} }}"
+        if self.els is not None:
+            s += f" else {{ {self.els} }}"
+        return s
+
+
+def normalize(node: FNode) -> NormalForm:
+    """Normalize a flattened body (recursively)."""
+    nf = NormalForm()
+    _collect(node, nf)
+    return nf
+
+
+def _collect(node: FNode, nf: NormalForm) -> None:
+    if isinstance(node, FList):
+        for item in node.items:
+            _collect(item, nf)
+    elif isinstance(node, FPrim):
+        nf.prims.append(node)
+    elif isinstance(node, FProd):
+        nf.prods.append(NormalProd(node.var, node.lo, node.hi, normalize(node.body)))
+    elif isinstance(node, FIf):
+        nf.conds.append(
+            NormalCond(
+                node.cond,
+                normalize(node.then),
+                normalize(node.els) if node.els is not None else None,
+            )
+        )
+    else:
+        raise TypeError(f"not a flattened node: {node!r}")

@@ -1,0 +1,328 @@
+"""Recursive-descent parser for the textual protocol DSL (grammar in
+:mod:`repro.lang.ast`).
+
+The parser is index-based, enabling the small amount of backtracking needed
+to disambiguate parenthesized boolean vs. arithmetic expressions in ``if``
+conditions.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+from repro.util.errors import ParseError
+
+_CMP_OPS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (text is None or t.text == text)
+
+    def at_punct(self, text: str) -> bool:
+        return self.at("punct", text)
+
+    def advance(self) -> Token:
+        t = self.cur
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.at(kind, text):
+            want = repr(text) if text else kind
+            raise ParseError(
+                f"expected {want}, found {self.cur}", self.cur.line, self.cur.column
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    # -- program ---------------------------------------------------------------
+
+    def program(self) -> ast.Program:
+        prog = ast.Program()
+        while not self.at("eof"):
+            if self.at("keyword", "main"):
+                if prog.main is not None:
+                    raise ParseError(
+                        "duplicate main definition", self.cur.line, self.cur.column
+                    )
+                prog.main = self.maindef()
+            else:
+                d = self.connectordef()
+                if d.name in prog.defs:
+                    raise ParseError(
+                        f"duplicate definition of {d.name!r}", d.line, 1
+                    )
+                prog.defs[d.name] = d
+        return prog
+
+    def connectordef(self) -> ast.ConnectorDef:
+        name_tok = self.expect("ident")
+        self.expect("punct", "(")
+        tails = self.paramlist()
+        self.expect("punct", ";")
+        heads = self.paramlist()
+        self.expect("punct", ")")
+        self.expect("punct", "=")
+        body = self.expr()
+        return ast.ConnectorDef(
+            name_tok.text, tuple(tails), tuple(heads), body, name_tok.line
+        )
+
+    def paramlist(self) -> list[ast.Param]:
+        params: list[ast.Param] = []
+        if self.at_punct(";") or self.at_punct(")"):
+            return params
+        while True:
+            name = self.expect("ident").text
+            is_array = False
+            if self.accept("punct", "["):
+                self.expect("punct", "]")
+                is_array = True
+            params.append(ast.Param(name, is_array))
+            if not self.accept("punct", ","):
+                return params
+
+    # -- connector expressions ---------------------------------------------------
+
+    def expr(self) -> ast.Expr:
+        items = [self.term()]
+        while self.accept("keyword", "mult"):
+            items.append(self.term())
+        if len(items) == 1:
+            return items[0]
+        return ast.Mult(tuple(items))
+
+    def term(self) -> ast.Expr:
+        if self.at("keyword", "if"):
+            return self.ifterm()
+        if self.at("keyword", "prod"):
+            return self.prodterm()
+        if self.accept("punct", "("):
+            e = self.expr()
+            self.expect("punct", ")")
+            return e
+        if self.accept("punct", "{"):
+            e = self.expr()
+            self.expect("punct", "}")
+            return e
+        if self.at("ident"):
+            return self.instance()
+        raise ParseError(
+            f"expected a constituent, found {self.cur}",
+            self.cur.line,
+            self.cur.column,
+        )
+
+    def ifterm(self) -> ast.If:
+        self.expect("keyword", "if")
+        self.expect("punct", "(")
+        cond = self.bexpr()
+        self.expect("punct", ")")
+        self.expect("punct", "{")
+        then = self.expr()
+        self.expect("punct", "}")
+        els: ast.Expr | None = None
+        if self.accept("keyword", "else"):
+            if self.at("keyword", "if"):
+                els = self.ifterm()
+            else:
+                self.expect("punct", "{")
+                els = self.expr()
+                self.expect("punct", "}")
+        return ast.If(cond, then, els)
+
+    def prodterm(self) -> ast.Prod:
+        self.expect("keyword", "prod")
+        self.expect("punct", "(")
+        var = self.expect("ident").text
+        self.expect("punct", ":")
+        lo = self.aexpr()
+        self.expect("punct", "..")
+        hi = self.aexpr()
+        self.expect("punct", ")")
+        body = self.term()
+        return ast.Prod(var, lo, hi, body)
+
+    def dotted_name(self) -> tuple[str, int]:
+        tok = self.expect("ident")
+        name = tok.text
+        while self.accept("punct", "."):
+            name += "." + self.expect("ident").text
+        return name, tok.line
+
+    def instance(self) -> ast.Instance:
+        name, line = self.dotted_name()
+        cparams: list[object] = []
+        if self.accept("punct", "<"):
+            while True:
+                if self.at("number"):
+                    cparams.append(int(self.advance().text))
+                else:
+                    cparams.append(self.expect("ident").text)
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ">")
+        self.expect("punct", "(")
+        tails = self.arglist()
+        self.expect("punct", ";")
+        heads = self.arglist()
+        self.expect("punct", ")")
+        return ast.Instance(name, tuple(tails), tuple(heads), tuple(cparams), line)
+
+    def arglist(self) -> list[ast.Arg]:
+        args: list[ast.Arg] = []
+        if self.at_punct(";") or self.at_punct(")"):
+            return args
+        while True:
+            args.append(self.arg())
+            if not self.accept("punct", ","):
+                return args
+
+    def arg(self) -> ast.Arg:
+        name = self.expect("ident").text
+        if self.accept("punct", "["):
+            lo = self.aexpr()
+            if self.accept("punct", ".."):
+                hi = self.aexpr()
+                self.expect("punct", "]")
+                return ast.SliceRef(name, lo, hi)
+            self.expect("punct", "]")
+            return ast.Ref(name, lo)
+        return ast.Ref(name)
+
+    # -- arithmetic -----------------------------------------------------------------
+
+    def aexpr(self) -> ast.AExpr:
+        e = self.aterm()
+        while self.at_punct("+") or self.at_punct("-"):
+            op = self.advance().text
+            e = ast.BinOp(op, e, self.aterm())
+        return e
+
+    def aterm(self) -> ast.AExpr:
+        e = self.afactor()
+        while self.at_punct("*") or self.at_punct("/") or self.at_punct("%"):
+            op = self.advance().text
+            e = ast.BinOp(op, e, self.afactor())
+        return e
+
+    def afactor(self) -> ast.AExpr:
+        if self.accept("punct", "-"):
+            return ast.Neg(self.afactor())
+        if self.at("number"):
+            return ast.Num(int(self.advance().text))
+        if self.accept("punct", "#"):
+            return ast.Len(self.expect("ident").text)
+        if self.at("ident"):
+            return ast.Var(self.advance().text)
+        if self.accept("punct", "("):
+            e = self.aexpr()
+            self.expect("punct", ")")
+            return e
+        raise ParseError(
+            f"expected an arithmetic expression, found {self.cur}",
+            self.cur.line,
+            self.cur.column,
+        )
+
+    # -- boolean ------------------------------------------------------------------------
+
+    def bexpr(self) -> ast.BExpr:
+        e = self.band()
+        while self.accept("punct", "||"):
+            e = ast.BoolOp("||", e, self.band())
+        return e
+
+    def band(self) -> ast.BExpr:
+        e = self.bnot()
+        while self.accept("punct", "&&"):
+            e = ast.BoolOp("&&", e, self.bnot())
+        return e
+
+    def bnot(self) -> ast.BExpr:
+        if self.accept("punct", "!"):
+            return ast.NotOp(self.bnot())
+        if self.at_punct("("):
+            # Could be a parenthesized boolean expression or a parenthesized
+            # arithmetic operand of a comparison; try the comparison first.
+            saved = self.pos
+            try:
+                return self.cmp()
+            except ParseError:
+                self.pos = saved
+            self.expect("punct", "(")
+            e = self.bexpr()
+            self.expect("punct", ")")
+            return e
+        return self.cmp()
+
+    def cmp(self) -> ast.Cmp:
+        left = self.aexpr()
+        for op in _CMP_OPS:
+            if self.accept("punct", op):
+                return ast.Cmp(op, left, self.aexpr())
+        raise ParseError(
+            f"expected a comparison operator, found {self.cur}",
+            self.cur.line,
+            self.cur.column,
+        )
+
+    # -- main ---------------------------------------------------------------------------------
+
+    def maindef(self) -> ast.MainDef:
+        tok = self.expect("keyword", "main")
+        params: list[str] = []
+        if self.accept("punct", "("):
+            if not self.at_punct(")"):
+                while True:
+                    params.append(self.expect("ident").text)
+                    if not self.accept("punct", ","):
+                        break
+            self.expect("punct", ")")
+        self.expect("punct", "=")
+        connector = self.instance()
+        tasks: list[ast.TaskTerm] = []
+        if self.accept("keyword", "among"):
+            tasks.append(self.taskterm())
+            while self.accept("keyword", "and"):
+                tasks.append(self.taskterm())
+        return ast.MainDef(tuple(params), connector, tuple(tasks), tok.line)
+
+    def taskterm(self) -> ast.TaskTerm:
+        if self.accept("keyword", "forall"):
+            self.expect("punct", "(")
+            var = self.expect("ident").text
+            self.expect("punct", ":")
+            lo = self.aexpr()
+            self.expect("punct", "..")
+            hi = self.aexpr()
+            self.expect("punct", ")")
+            body = self.taskterm()
+            return ast.Forall(var, lo, hi, body)
+        name, line = self.dotted_name()
+        self.expect("punct", "(")
+        args = self.arglist()
+        self.expect("punct", ")")
+        return ast.TaskInst(name, tuple(args), line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse DSL ``source`` into a :class:`~repro.lang.ast.Program`."""
+    return _Parser(tokenize(source)).program()

@@ -1,0 +1,101 @@
+"""Shared NPB plumbing: problem classes, results, verification, connectors.
+
+The class ladder S < W < A < B < C keeps NPB's ordering; dimensions are
+scaled where a pure-Python/numpy run of the genuine size would not fit a
+benchmark time budget (the mapping is recorded per program in
+EXPERIMENTS.md).  Verification is self-consistent: every parallel variant
+must reproduce the serial oracle's figure of merit to within a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import time
+
+#: Join timeout for NPB task groups: a protocol bug surfaces as a
+#: TimeoutError instead of hanging the benchmark run.
+JOIN_TIMEOUT = 600.0
+
+
+@dataclass(frozen=True)
+class ProblemClass:
+    """One NPB problem class for one program (sizes are program-specific)."""
+
+    name: str
+    params: dict
+
+    def __getitem__(self, key):
+        return self.params[key]
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one NPB run."""
+
+    program: str
+    variant: str  # 'serial' | 'original' | 'reo'
+    clazz: str
+    nprocs: int
+    seconds: float
+    value: object  # figure of merit (zeta, residual, counts, ...)
+    verified: bool | None = None
+    extra: dict = field(default_factory=dict)
+
+    def row(self) -> str:
+        v = {True: "OK", False: "FAILED", None: "-"}[self.verified]
+        return (
+            f"{self.program:>4} {self.clazz} {self.variant:>8} "
+            f"N={self.nprocs:<3d} {self.seconds:8.3f}s  verify={v}"
+        )
+
+
+class Timer:
+    """Tiny context timer used by every NPB driver."""
+
+    def __enter__(self):
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self.t0
+
+
+def block_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``parts`` contiguous blocks (balanced)."""
+    base, rem = divmod(n, parts)
+    out = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < rem else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+# --------------------------------------------------------------------------
+# Connector kit for the Reo-based variants
+# --------------------------------------------------------------------------
+
+
+def make_bcast(n: int, **options):
+    """A master-to-slaves broadcast: the library ``Replicator(n)``."""
+    from repro.connectors import library
+
+    return library.connector("Replicator", n, **options)
+
+
+def make_gather(n: int, **options):
+    """A slaves-to-master gather: the library ``EarlyAsyncMerger(n)``
+    (a fifo1 per slave, then a merger — its large automaton has 2^n states,
+    which is what makes the N ≥ 16 cases interesting, §V.C point 3)."""
+    from repro.connectors import library
+
+    return library.connector("EarlyAsyncMerger", n, **options)
+
+
+def make_pipe(**options):
+    """A 1-place buffered pipe (neighbour link in pipelines)."""
+    from repro.compiler import compile_source
+
+    program = compile_source("Pipe(a;b) = Fifo1(a;b)\n")
+    return program.instantiate_connector("Pipe", **options)

@@ -1,0 +1,91 @@
+"""The NPB pseudo-random number generator (``randlc``/``vranlc``).
+
+The NAS benchmarks specify the linear congruential generator
+
+    x_{k+1} = a * x_k  mod 2^46,     a = 5^13,  x_0 = 314159265
+
+yielding uniform deviates x_k / 2^46 in (0, 1).  The reference codes
+implement the 46-bit modular product in double-double arithmetic; here we
+use exact integer arithmetic — scalar with Python ints, vectorized with the
+classic 23-bit split so every intermediate fits in uint64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MOD = 1 << 46
+_M23 = (1 << 23) - 1
+_R23 = 1.0 / (1 << 23)
+_R46 = 1.0 / MOD
+
+A_DEFAULT = 5**13  # 1220703125
+SEED_DEFAULT = 314159265
+
+
+def lcg_advance(seed: int, steps: int, a: int = A_DEFAULT) -> int:
+    """The seed after ``steps`` applications of the LCG (exact, O(log steps)).
+
+    NPB programs use this to give each task an independent, deterministic
+    substream: task ``i`` of ``p`` starts at ``lcg_advance(seed, i * chunk)``.
+    """
+    return (pow(a, steps, MOD) * seed) % MOD
+
+
+class Randlc:
+    """Scalar generator with the exact NPB semantics.
+
+    >>> r = Randlc()
+    >>> 0.0 < r.next() < 1.0
+    True
+    """
+
+    def __init__(self, seed: int = SEED_DEFAULT, a: int = A_DEFAULT):
+        self.x = seed % MOD
+        self.a = a % MOD
+
+    def next(self) -> float:
+        self.x = (self.a * self.x) % MOD
+        return self.x * _R46
+
+    def skip(self, steps: int) -> "Randlc":
+        self.x = lcg_advance(self.x, steps, self.a)
+        return self
+
+
+def _mul_mod46(x: np.ndarray, a: int) -> np.ndarray:
+    """Vectorized ``(a * x) mod 2^46`` over uint64 arrays via 23-bit splits."""
+    a1, a2 = a >> 23, a & _M23
+    x1 = x >> np.uint64(23)
+    x2 = x & np.uint64(_M23)
+    t = (np.uint64(a1) * x2 + np.uint64(a2) * x1) & np.uint64(_M23)
+    return (t << np.uint64(23)) + np.uint64(a2) * x2 & np.uint64(MOD - 1)
+
+
+def randlc_stream(n: int, seed: int = SEED_DEFAULT, a: int = A_DEFAULT) -> np.ndarray:
+    """The first ``n`` deviates after ``seed`` as a float64 array.
+
+    Exactly matches ``n`` sequential :meth:`Randlc.next` calls; generation
+    is vectorized by seeding a block of ``b`` parallel substreams with
+    consecutive LCG states and advancing them all by ``a^b`` per step.
+    """
+    if n <= 0:
+        return np.empty(0, dtype=np.float64)
+    block = min(n, 4096)
+    # Consecutive states x_1 .. x_block (exact, scalar).
+    states = np.empty(block, dtype=np.uint64)
+    x = seed % MOD
+    for i in range(block):
+        x = (a * x) % MOD
+        states[i] = x
+    a_block = pow(a, block, MOD)
+    out = np.empty(n, dtype=np.float64)
+    filled = 0
+    current = states
+    while filled < n:
+        take = min(block, n - filled)
+        out[filled : filled + take] = current[:take].astype(np.float64) * _R46
+        filled += take
+        if filled < n:
+            current = _mul_mod46(current, a_block)
+    return out

@@ -1,0 +1,40 @@
+"""Runtime system: the generalized Foster–Chandy model (paper §II, §V.A).
+
+Tasks interact exclusively through :class:`Outport`/:class:`Inport` objects;
+an n-ary :class:`Connector` links arbitrary numbers of outports and inports
+and comprehensively encapsulates all synchronization and communication
+required to enforce one protocol.  Both send and receive block until the
+connector completes the operation (§II) — unless the connector buffers
+internally, which makes sends effectively non-blocking (footnote 1).
+
+The engine is a *reactive state machine* (§III.B): whenever a task performs
+a send/receive, it checks whether the operation enables a transition; if so
+it fires the transition, distributes messages, and completes all operations
+involved; if not, the operations remain pending and the tasks blocked.
+"""
+
+from repro.runtime.buffers import BufferStore
+from repro.runtime.ports import Inport, Outport, mkports
+from repro.runtime.engine import CoordinatorEngine
+from repro.runtime.connector import Connector, RuntimeConnector
+from repro.runtime.tasks import TaskGroup, TaskHandle, spawn
+from repro.runtime.trace import TraceEvent, TraceRecorder
+from repro.runtime.channels import Channel, ChannelInport, ChannelOutport
+
+__all__ = [
+    "BufferStore",
+    "Inport",
+    "Outport",
+    "mkports",
+    "CoordinatorEngine",
+    "Connector",
+    "RuntimeConnector",
+    "TaskGroup",
+    "TaskHandle",
+    "spawn",
+    "TraceEvent",
+    "TraceRecorder",
+    "Channel",
+    "ChannelInport",
+    "ChannelOutport",
+]

@@ -1,0 +1,65 @@
+"""The shared buffer store backing fifo-like primitives at run time.
+
+Automaton transitions manipulate buffers only through constraint effects
+(push/pop) and guards (not-full/not-empty); the store holds the actual
+deques.  It is *not* internally synchronized — all access happens under the
+engine lock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.automata.automaton import BufferSpec
+from repro.util.errors import RuntimeProtocolError
+
+
+class BufferStore:
+    """Named bounded/unbounded FIFO buffers."""
+
+    def __init__(self, specs: Iterable[BufferSpec] = ()):
+        self._queues: dict[str, deque] = {}
+        self._capacity: dict[str, int | None] = {}
+        for spec in specs:
+            self.declare(spec)
+
+    def declare(self, spec: BufferSpec) -> None:
+        if spec.name in self._queues:
+            if self._capacity[spec.name] != spec.capacity:
+                raise RuntimeProtocolError(
+                    f"buffer {spec.name!r} redeclared with different capacity"
+                )
+            return
+        if spec.capacity is not None and len(spec.initial) > spec.capacity:
+            raise RuntimeProtocolError(
+                f"buffer {spec.name!r} initial contents exceed capacity"
+            )
+        self._queues[spec.name] = deque(spec.initial)
+        self._capacity[spec.name] = spec.capacity
+
+    def empty(self, name: str) -> bool:
+        return not self._queues[name]
+
+    def full(self, name: str) -> bool:
+        cap = self._capacity[name]
+        return cap is not None and len(self._queues[name]) >= cap
+
+    def peek(self, name: str):
+        return self._queues[name][0]
+
+    def pop(self, name: str):
+        return self._queues[name].popleft()
+
+    def push(self, name: str, value) -> None:
+        self._queues[name].append(value)
+
+    def occupancy(self, name: str) -> int:
+        return len(self._queues[name])
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._queues)
+
+    def snapshot(self) -> dict[str, tuple]:
+        """Immutable view of all buffer contents (debugging/tests)."""
+        return {name: tuple(q) for name, q in self._queues.items()}

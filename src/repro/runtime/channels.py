@@ -1,0 +1,81 @@
+"""The *basic* Foster–Chandy model (paper §II, Figs. 1–2) — the baseline.
+
+A :class:`Channel` connects exactly one outport to one inport through an
+unbounded buffer; sends are non-blocking, receives block until a message is
+available.  This is the model the paper generalizes, kept here (a) as the
+baseline programming model for comparisons and tests (Ex. 2 is implemented
+with it), and (b) as the communication substrate of the *original* NPB
+variants (§V.C), which use hand-written synchronization.
+"""
+
+from __future__ import annotations
+
+import queue
+
+from repro.util.errors import PortClosedError
+
+_CLOSED = object()
+
+
+class ChannelOutport:
+    """Sending end of a basic channel: ``send`` never blocks (§II)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._queue: queue.SimpleQueue | None = None
+        self._closed = False
+
+    def send(self, value) -> None:
+        if self._closed:
+            raise PortClosedError(f"outport {self.name!r} closed")
+        if self._queue is None:
+            raise PortClosedError(f"outport {self.name!r} not connected")
+        self._queue.put(value)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._queue is not None:
+                self._queue.put(_CLOSED)
+
+
+class ChannelInport:
+    """Receiving end of a basic channel: ``recv`` blocks until a message
+    becomes available."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._queue: queue.SimpleQueue | None = None
+        self._closed = False
+
+    def recv(self):
+        if self._closed:
+            raise PortClosedError(f"inport {self.name!r} closed")
+        if self._queue is None:
+            raise PortClosedError(f"inport {self.name!r} not connected")
+        value = self._queue.get()
+        if value is _CLOSED:
+            self._closed = True
+            raise PortClosedError(f"channel to inport {self.name!r} closed")
+        return value
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class Channel:
+    """An unbounded point-to-point channel (paper Fig. 1, ``Channel``)."""
+
+    def connect(self, out: ChannelOutport, inp: ChannelInport) -> None:
+        if out._queue is not None or inp._queue is not None:
+            raise PortClosedError("channel port already connected")
+        q: queue.SimpleQueue = queue.SimpleQueue()
+        out._queue = q
+        inp._queue = q
+
+
+def channel() -> tuple[ChannelOutport, ChannelInport]:
+    """Convenience: a connected (outport, inport) pair."""
+    out, inp = ChannelOutport(), ChannelInport()
+    Channel().connect(out, inp)
+    return out, inp

@@ -1,0 +1,173 @@
+"""Connector objects: the generalized Foster–Chandy ``Connector`` (Fig. 3).
+
+A :class:`RuntimeConnector` owns a list of concrete medium automata (produced
+by either compilation approach), a boundary signature (which vertices are
+linked to outports/inports), and execution options:
+
+* ``composition="jit"`` — just-in-time composition (§IV.D), the default;
+* ``composition="aot"`` — ahead-of-time composition: the medium automata
+  are eagerly composed into one large automaton at ``connect`` time ("easy
+  to implement; resources may be spent unnecessarily");
+* ``use_partitioning=True`` — apply the ref-[32] partitioning first, so each
+  independent region composes (eagerly or lazily) on its own;
+* ``step_mode`` — ``"minimal"`` (default) or ``"maximal"`` global-step
+  enumeration, see :mod:`repro.automata.product`;
+* ``cache_factory`` — state-cache constructor for JIT regions (unbounded by
+  default; pass e.g. ``lambda: LRUCache(1024)`` for the bounded-cache
+  extension);
+* ``tracer`` — a :class:`repro.runtime.trace.TraceRecorder` receiving every
+  fired step (the animation-engine analogue).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.automata.automaton import ConstraintAutomaton
+from repro.automata.constraint import DEFAULT_REGISTRY, FunctionRegistry
+from repro.automata.lazy import LazyProduct
+from repro.automata.partition import partition_automata
+from repro.automata.product import merged_buffers, product
+from repro.runtime.buffers import BufferStore
+from repro.runtime.engine import CoordinatorEngine, EagerRegion, LazyRegion
+from repro.runtime.ports import Inport, Outport
+from repro.util.errors import RuntimeProtocolError
+
+
+class Connector(ABC):
+    """Interface of the generalized Foster–Chandy model (paper Fig. 3)."""
+
+    @abstractmethod
+    def connect(self, outports: Sequence[Outport], inports: Sequence[Inport]) -> None:
+        """Link task ports to this connector's boundary vertices."""
+
+
+class RuntimeConnector(Connector):
+    """A protocol instance ready to be linked to task ports."""
+
+    def __init__(
+        self,
+        automata: Sequence[ConstraintAutomaton],
+        tail_vertices: Sequence[str],
+        head_vertices: Sequence[str],
+        composition: str = "jit",
+        step_mode: str = "minimal",
+        use_partitioning: bool = False,
+        cache_factory: Callable[[], object] | None = None,
+        registry: FunctionRegistry | None = None,
+        state_budget: int | None = None,
+        expected_parties: int | None = None,
+        tracer=None,
+        name: str = "",
+    ):
+        if composition not in ("jit", "aot"):
+            raise ValueError(f"composition must be 'jit' or 'aot', not {composition!r}")
+        self.automata = list(automata)
+        self.tail_vertices = list(tail_vertices)
+        self.head_vertices = list(head_vertices)
+        self.composition = composition
+        self.step_mode = step_mode
+        self.use_partitioning = use_partitioning
+        self.cache_factory = cache_factory
+        self.registry = registry or DEFAULT_REGISTRY
+        self.state_budget = state_budget
+        self.expected_parties = expected_parties
+        self.tracer = tracer
+        self.name = name
+        self.engine: CoordinatorEngine | None = None
+
+        overlap = set(self.tail_vertices) & set(self.head_vertices)
+        if overlap:
+            raise RuntimeProtocolError(
+                f"vertices {sorted(overlap)} appear on both sides of the signature"
+            )
+
+    # ------------------------------------------------------------------
+
+    def connect(self, outports: Sequence[Outport], inports: Sequence[Inport]) -> None:
+        """Bind ports positionally to the boundary vertices and start the
+        engine.  This is where the run-time share of the parametrized
+        compilation approach happens (composition of medium automata)."""
+        if self.engine is not None:
+            raise RuntimeProtocolError("connector already connected")
+        if len(outports) != len(self.tail_vertices):
+            raise RuntimeProtocolError(
+                f"{self.name or 'connector'} expects {len(self.tail_vertices)} "
+                f"outports, got {len(outports)}"
+            )
+        if len(inports) != len(self.head_vertices):
+            raise RuntimeProtocolError(
+                f"{self.name or 'connector'} expects {len(self.head_vertices)} "
+                f"inports, got {len(inports)}"
+            )
+
+        sources = frozenset(self.tail_vertices)
+        sinks = frozenset(self.head_vertices)
+
+        groups = (
+            partition_automata(self.automata)
+            if self.use_partitioning
+            else [self.automata]
+        )
+
+        regions: list[EagerRegion | LazyRegion] = []
+        all_buffers = []
+        for group in groups:
+            all_buffers.extend(merged_buffers(group))
+            if self.composition == "aot":
+                large = product(
+                    group,
+                    mode=self.step_mode,
+                    state_budget=self.state_budget,
+                    name=self.name,
+                )
+                # Hide internal vertices so the global index dispatches
+                # internal data movements as τ-steps (labels restricted to
+                # the boundary, as the existing compiler does).
+                large = large.hide(large.vertices - sources - sinks)
+                regions.append(EagerRegion(large))
+            else:
+                cache = self.cache_factory() if self.cache_factory else None
+                regions.append(
+                    LazyRegion(LazyProduct(group, mode=self.step_mode, cache=cache))
+                )
+
+        self.engine = CoordinatorEngine(
+            regions,
+            BufferStore(all_buffers),
+            sources,
+            sinks,
+            registry=self.registry,
+            expected_parties=self.expected_parties,
+            tracer=self.tracer,
+        )
+        if self.composition == "aot":
+            # The existing approach compiles every transition's firing plan
+            # ahead of time (§V.B point 1).
+            self.engine.precompile_plans()
+
+        for port, vertex in zip(outports, self.tail_vertices):
+            port._bind(self.engine, vertex)
+        for port, vertex in zip(inports, self.head_vertices):
+            port._bind(self.engine, vertex)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.engine is not None:
+            self.engine.close()
+
+    @property
+    def steps(self) -> int:
+        """Global execution steps fired so far (the Fig. 12 metric)."""
+        return self.engine.steps if self.engine else 0
+
+    def stats(self) -> dict:
+        return self.engine.stats() if self.engine else {}
+
+    def __enter__(self) -> "RuntimeConnector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

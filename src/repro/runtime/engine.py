@@ -1,0 +1,370 @@
+"""The reactive coordination engine (paper §III.B, §IV.D).
+
+One :class:`CoordinatorEngine` drives one connected protocol instance.  It
+holds one or more *regions* (see :mod:`repro.automata.partition`); each
+region is either
+
+* an :class:`EagerRegion` — a fully composed "large automaton" with the
+  transition-global :class:`~repro.automata.analysis.GlobalIndex` (the
+  existing compilation approach, ahead-of-time composition), or
+* a :class:`LazyRegion` — a :class:`~repro.automata.lazy.LazyProduct`
+  expanded just-in-time (the new approach, §IV.D).
+
+Execution model (caller-driven, as in compiled Reo): a task's send/recv
+registers a pending operation under the engine lock and then *drains* —
+repeatedly firing enabled transitions until quiescence — before blocking on
+a condition variable.  Every firing completes the operations of the boundary
+vertices in its label and may enable further transitions (including internal
+τ-steps with empty labels, which the drain loop also fires).
+
+Transition plans (see :mod:`repro.automata.simplify`) are compiled on first
+use and memoized by ``(label, atoms, effects)``; eager regions precompile
+all plans at construction (the existing compiler's compile-time
+optimization), lazy regions amortize planning over repeated firings (the
+"not yet implemented" improvement the paper suggests for the new approach).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Sequence
+
+from repro.automata.analysis import GlobalIndex
+from repro.automata.automaton import ConstraintAutomaton
+from repro.automata.constraint import DEFAULT_REGISTRY, FunctionRegistry
+from repro.automata.lazy import LazyProduct
+from repro.automata.simplify import FiringPlan, commandify
+from repro.runtime.buffers import BufferStore
+from repro.util.errors import DeadlockError, PortClosedError
+
+
+class _Op:
+    """One pending send/receive operation."""
+
+    __slots__ = ("vertex", "value", "done", "error")
+
+    def __init__(self, vertex: str, value=None):
+        self.vertex = vertex
+        self.value = value
+        self.done = False
+        self.error: Exception | None = None
+
+
+class EagerRegion:
+    """Region backed by a fully composed automaton + global index."""
+
+    def __init__(self, automaton: ConstraintAutomaton):
+        self.automaton = automaton
+        self.index = GlobalIndex(automaton)
+        self.state: int = automaton.initial
+        self.rr = 0  # round-robin cursor for fairness
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        return self.automaton.vertices
+
+    def outgoing(self):
+        return self.automaton.outgoing(self.state)
+
+    def candidates(self, pending_vertices):
+        """Transitions worth checking: those touching a pending vertex, plus
+        internal steps.  This is the §V.B point-2 dispatch advantage."""
+        out = list(self.index.internal[self.state])
+        seen = set(map(id, out))
+        for v in pending_vertices:
+            for t in self.index.candidates(self.state, v):
+                if id(t) not in seen:
+                    seen.add(id(t))
+                    out.append(t)
+        return out
+
+    def advance(self, step) -> None:
+        self.state = step.target
+
+
+class LazyRegion:
+    """Region backed by a just-in-time product."""
+
+    def __init__(self, lazy: LazyProduct):
+        self.lazy = lazy
+        self.state = lazy.initial
+        self.rr = 0
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        return self.lazy.vertices
+
+    def outgoing(self):
+        return self.lazy.outgoing(self.state)
+
+    def candidates(self, pending_vertices):
+        return self.lazy.outgoing(self.state)
+
+    def advance(self, step) -> None:
+        self.state = step.successor(self.state)
+
+
+class CoordinatorEngine:
+    """Reactive state machine driving one protocol instance.
+
+    ``sources`` are boundary vertices bound to outports (tasks send there);
+    ``sinks`` are bound to inports.  ``expected_parties`` enables deadlock
+    detection: when that many operations are simultaneously blocked and no
+    transition is enabled, every blocked operation fails with
+    :class:`DeadlockError`.
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[EagerRegion | LazyRegion],
+        buffers: BufferStore,
+        sources: frozenset[str],
+        sinks: frozenset[str],
+        registry: FunctionRegistry | None = None,
+        expected_parties: int | None = None,
+        tracer=None,
+    ):
+        self.regions = list(regions)
+        self.buffers = buffers
+        self.sources = sources
+        self.sinks = sinks
+        self.registry = registry or DEFAULT_REGISTRY
+        self.expected_parties = expected_parties
+        self.tracer = tracer
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._pending_send: dict[str, deque[_Op]] = {v: deque() for v in sources}
+        self._pending_recv: dict[str, deque[_Op]] = {v: deque() for v in sinks}
+        self._closed_vertices: set[str] = set()
+        self._closed = False
+        self._blocked = 0
+
+        self._plans: dict[tuple, FiringPlan] = {}
+        self.steps = 0  # global execution steps fired (the Fig. 12 metric)
+
+        # Map each vertex to the region that owns it (for close bookkeeping).
+        self._owner: dict[str, EagerRegion | LazyRegion] = {}
+        for r in self.regions:
+            for v in r.vertices:
+                self._owner[v] = r
+
+        # Fire anything enabled from the very start (e.g. token rings with
+        # initialized fifos feeding internal vertices).
+        with self._lock:
+            self._drain()
+
+    # ------------------------------------------------------------------ API
+
+    def submit_send(self, vertex: str, value, blocking: bool = True):
+        op = _Op(vertex, value)
+        return self._submit(self._pending_send[vertex], op, blocking)
+
+    def submit_recv(self, vertex: str, blocking: bool = True):
+        op = _Op(vertex)
+        result = self._submit(self._pending_recv[vertex], op, blocking)
+        if blocking:
+            return op.value
+        return (result, op.value if result else None)
+
+    def close_vertex(self, vertex: str) -> None:
+        with self._cond:
+            self._closed_vertices.add(vertex)
+            self._fail_queue(self._pending_send.get(vertex))
+            self._fail_queue(self._pending_recv.get(vertex))
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Shut the whole connector down; all blocked tasks get
+        :class:`PortClosedError`."""
+        with self._cond:
+            self._closed = True
+            for q in self._pending_send.values():
+                self._fail_queue(q)
+            for q in self._pending_recv.values():
+                self._fail_queue(q)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------ internals
+
+    def _fail_queue(self, queue: deque | None) -> None:
+        if not queue:
+            return
+        while queue:
+            op = queue.popleft()
+            op.error = PortClosedError(f"vertex {op.vertex!r} closed")
+
+    def _submit(self, queue: deque, op: _Op, blocking: bool) -> bool:
+        with self._cond:
+            if self._closed or op.vertex in self._closed_vertices:
+                raise PortClosedError(f"vertex {op.vertex!r} closed")
+            queue.append(op)
+            self._drain()
+            if op.done:
+                return True
+            if not blocking:
+                queue.remove(op)
+                return False
+            self._blocked += 1
+            try:
+                while not op.done and op.error is None:
+                    self._maybe_deadlock()
+                    self._cond.wait(timeout=0.1)
+            finally:
+                self._blocked -= 1
+            if op.error is not None:
+                raise op.error
+            return True
+
+    def _maybe_deadlock(self) -> None:
+        if self.expected_parties is None:
+            return
+        # Every blocked task has exactly one queued, not-yet-done operation
+        # (completed operations are popped at firing time).  If every party
+        # has one and the drain loop — always run to quiescence after each
+        # submission and firing — found nothing enabled, nothing will ever
+        # fire again.
+        queued = sum(len(q) for q in self._pending_send.values()) + sum(
+            len(q) for q in self._pending_recv.values()
+        )
+        if queued < self.expected_parties:
+            return
+        err = DeadlockError(
+            f"all {self.expected_parties} parties blocked with no enabled transition"
+        )
+        for q in list(self._pending_send.values()) + list(self._pending_recv.values()):
+            for op in q:
+                op.error = err
+            q.clear()
+        self._cond.notify_all()
+
+    def _pending_vertices(self):
+        out = []
+        for v, q in self._pending_send.items():
+            if q:
+                out.append(v)
+        for v, q in self._pending_recv.items():
+            if q:
+                out.append(v)
+        return out
+
+    def _drain(self) -> None:
+        """Fire enabled transitions until quiescence (caller holds lock)."""
+        fired = True
+        while fired:
+            fired = False
+            for region in self.regions:
+                while self._fire_one(region):
+                    fired = True
+
+    def _fire_one(self, region) -> bool:
+        steps = region.candidates(self._pending_vertices())
+        n = len(steps)
+        if n == 0:
+            return False
+        start = region.rr % n
+        for k in range(n):
+            step = steps[(start + k) % n]
+            label = step.label
+            offers = None
+            enabled = True
+            for v in label:
+                if v in self._closed_vertices:
+                    enabled = False
+                    break
+                sq = self._pending_send.get(v)
+                if sq is not None:
+                    if not sq:
+                        enabled = False
+                        break
+                    if offers is None:
+                        offers = {}
+                    offers[v] = sq[0].value
+                    continue
+                rq = self._pending_recv.get(v)
+                if rq is not None and not rq:
+                    enabled = False
+                    break
+            if not enabled:
+                continue
+            plan = self._plan_for(step)
+            slots = plan.evaluate(offers or {}, self.buffers)
+            if slots is None:
+                continue
+            # Fire!
+            deliveries = plan.commit(self.buffers, slots)
+            completed_sends: list[str] = []
+            completed_recvs: list[str] = []
+            for v in label:
+                sq = self._pending_send.get(v)
+                if sq is not None:
+                    op = sq.popleft()
+                    op.done = True
+                    completed_sends.append(v)
+                    continue
+                rq = self._pending_recv.get(v)
+                if rq is not None:
+                    op = rq.popleft()
+                    op.value = deliveries.get(v)
+                    op.done = True
+                    completed_recvs.append(v)
+            region.advance(step)
+            region.rr = (start + k + 1) % n
+            self.steps += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.regions.index(region),
+                    label,
+                    completed_sends,
+                    completed_recvs,
+                    tuple(deliveries.items()),
+                )
+            self._cond.notify_all()
+            return True
+        return False
+
+    def _plan_for(self, step) -> FiringPlan:
+        key = (step.label, step.atoms, step.effects)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = commandify(
+                step.label,
+                step.atoms,
+                step.effects,
+                self.sources,
+                self.sinks,
+                self.registry,
+            )
+            self._plans[key] = plan
+        return plan
+
+    def precompile_plans(self) -> int:
+        """Compile plans for every transition of every eager region now
+        (the existing approach's compile-time share).  Returns the number of
+        plans compiled."""
+        count = 0
+        for region in self.regions:
+            if isinstance(region, EagerRegion):
+                for t in region.automaton.transitions:
+                    self._plan_for(t)
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        out = {
+            "steps": self.steps,
+            "plans": len(self._plans),
+            "regions": len(self.regions),
+        }
+        expansions = 0
+        cache_len = 0
+        for r in self.regions:
+            if isinstance(r, LazyRegion):
+                expansions += r.lazy.expansions
+                cache_len += len(r.lazy.cache)
+        out["expansions"] = expansions
+        out["cached_states"] = cache_len
+        return out

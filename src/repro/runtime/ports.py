@@ -1,0 +1,114 @@
+"""Outports and inports — the task-facing API (paper Fig. 1 and §II).
+
+Ports are created standalone (as in the paper's Fig. 4 ``main``), then bound
+to a connector via ``Connector.connect(outports, inports)``.  In the
+generalized Foster–Chandy model both :meth:`Outport.send` and
+:meth:`Inport.recv` block until the connector completes the operation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.util.errors import PortClosedError, RuntimeProtocolError
+
+_port_ids = itertools.count()
+
+
+class _Port:
+    """Common state of outports and inports."""
+
+    def __init__(self, name: str = ""):
+        self.name = name or f"port{next(_port_ids)}"
+        self._engine = None
+        self._vertex: str | None = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # -- binding (called by RuntimeConnector.connect) ----------------------
+
+    def _bind(self, engine, vertex: str) -> None:
+        with self._lock:
+            if self._engine is not None:
+                raise RuntimeProtocolError(
+                    f"port {self.name!r} is already connected (to vertex "
+                    f"{self._vertex!r}); a port belongs to exactly one connector"
+                )
+            self._engine = engine
+            self._vertex = vertex
+
+    def _require_bound(self):
+        engine, vertex = self._engine, self._vertex
+        if engine is None:
+            raise RuntimeProtocolError(
+                f"port {self.name!r} is not connected to any connector"
+            )
+        if self._closed:
+            raise PortClosedError(f"port {self.name!r} is closed")
+        return engine, vertex
+
+    @property
+    def connected(self) -> bool:
+        return self._engine is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the port; pending and future operations raise
+        :class:`PortClosedError`."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            engine, vertex = self._engine, self._vertex
+        if engine is not None:
+            engine.close_vertex(vertex)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else ("bound" if self.connected else "unbound")
+        return f"<{type(self).__name__} {self.name} ({state})>"
+
+
+class Outport(_Port):
+    """A task's sending interface: ``send`` offers a message to the linked
+    vertex and blocks until the connector is ready to handle it (§III.A)."""
+
+    def send(self, value) -> None:
+        engine, vertex = self._require_bound()
+        engine.submit_send(vertex, value)
+
+    def try_send(self, value) -> bool:
+        """Non-blocking send: complete the operation only if a transition
+        can fire with it immediately; otherwise withdraw the offer."""
+        engine, vertex = self._require_bound()
+        return engine.submit_send(vertex, value, blocking=False)
+
+
+class Inport(_Port):
+    """A task's receiving interface: ``recv`` blocks until a message becomes
+    available through the connector."""
+
+    def recv(self):
+        engine, vertex = self._require_bound()
+        return engine.submit_recv(vertex)
+
+    def try_recv(self) -> tuple[bool, object]:
+        """Non-blocking receive; returns ``(completed, value)``."""
+        engine, vertex = self._require_bound()
+        return engine.submit_recv(vertex, blocking=False)
+
+
+def mkports(n_out: int, n_in: int, prefix: str = "") -> tuple[list[Outport], list[Inport]]:
+    """Convenience factory: ``n_out`` outports and ``n_in`` inports."""
+    outs = [Outport(f"{prefix}out{i}" if prefix else "") for i in range(n_out)]
+    ins = [Inport(f"{prefix}in{i}" if prefix else "") for i in range(n_in)]
+    return outs, ins

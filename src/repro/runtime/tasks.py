@@ -1,0 +1,101 @@
+"""Task spawning helpers ("tasks as threads", paper Figs. 2/4).
+
+:func:`spawn` starts a task on a thread and returns a :class:`TaskHandle`
+whose :meth:`~TaskHandle.join` re-raises anything the task raised —
+silently-dying tasks are the classic parallel-programming footgun.
+:class:`TaskGroup` joins (and error-checks) a whole set of tasks, and is
+what the examples and benchmarks use for their ``main`` definitions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+
+class TaskHandle:
+    """A running task: join it to obtain its result or its exception."""
+
+    def __init__(self, fn: Callable, args: tuple, kwargs: dict, name: str):
+        self.name = name
+        self.result = None
+        self.exception: BaseException | None = None
+
+        def runner():
+            try:
+                self.result = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported at join
+                self.exception = exc
+
+        self.thread = threading.Thread(target=runner, name=name, daemon=True)
+
+    def start(self) -> "TaskHandle":
+        self.thread.start()
+        return self
+
+    def join(self, timeout: float | None = None):
+        """Wait for the task; re-raise its exception; return its result."""
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise TimeoutError(f"task {self.name!r} did not finish in {timeout}s")
+        if self.exception is not None:
+            raise self.exception
+        return self.result
+
+    @property
+    def alive(self) -> bool:
+        return self.thread.is_alive()
+
+
+def spawn(fn: Callable, *args, name: str = "", **kwargs) -> TaskHandle:
+    """Start ``fn(*args, **kwargs)`` as a task thread."""
+    return TaskHandle(fn, args, kwargs, name or fn.__name__).start()
+
+
+class TaskGroup:
+    """Spawn tasks and join them all, propagating the first failure.
+
+    >>> with TaskGroup() as g:
+    ...     g.spawn(producer, out)
+    ...     g.spawn(consumer, inp)
+    # exiting the block joins everything
+    """
+
+    def __init__(self, join_timeout: float | None = None):
+        self.handles: list[TaskHandle] = []
+        self.join_timeout = join_timeout
+
+    def spawn(self, fn: Callable, *args, name: str = "", **kwargs) -> TaskHandle:
+        h = spawn(fn, *args, name=name, **kwargs)
+        self.handles.append(h)
+        return h
+
+    def join_all(self) -> list:
+        """Join every task; raise the first exception encountered (after
+        attempting to join all, so no thread is left unaccounted)."""
+        first_error: BaseException | None = None
+        results = []
+        for h in self.handles:
+            try:
+                results.append(h.join(self.join_timeout))
+            except BaseException as exc:  # noqa: BLE001
+                results.append(None)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def __enter__(self) -> "TaskGroup":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.join_all()
+
+
+def join_all(handles: Iterable[TaskHandle], timeout: float | None = None) -> list:
+    """Join a collection of handles, re-raising the first failure."""
+    group = TaskGroup(join_timeout=timeout)
+    group.handles = list(handles)
+    return group.join_all()

@@ -1,0 +1,76 @@
+"""Error taxonomy for the whole library.
+
+Every exception raised deliberately by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures without catching
+programming errors.  The hierarchy mirrors the pipeline: parsing/scoping →
+compilation → runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised by the DSL lexer/parser on malformed protocol source.
+
+    Carries the 1-based source position for diagnostics.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ScopeError(ReproError):
+    """Raised when a name is unbound, rebound, or used with the wrong arity."""
+
+
+class WellFormednessError(ReproError):
+    """Raised when a connector graph violates structural well-formedness.
+
+    Examples: a vertex written by two arc ends, an arc referencing a vertex
+    absent from the graph, an empty array parameter.
+    """
+
+
+class CompilationError(ReproError):
+    """Raised when a protocol cannot be compiled (either approach)."""
+
+
+class CompilationBudgetExceeded(CompilationError):
+    """Raised when eager (ahead-of-time) composition exceeds its state budget.
+
+    This models the paper's observation that the *existing* compiler fails on
+    connectors whose large automaton has a state space exponential in the
+    number of medium automata (Fig. 12, dotted bins).
+    """
+
+    def __init__(self, budget: int, reached: int, message: str = ""):
+        self.budget = budget
+        self.reached = reached
+        super().__init__(
+            message
+            or f"state budget exceeded: explored {reached} states, budget {budget}"
+        )
+
+
+class ConstraintError(ReproError):
+    """Raised when a transition's data constraint cannot be planned or solved."""
+
+
+class RuntimeProtocolError(ReproError):
+    """Raised on protocol misuse at run time (e.g. port bound twice)."""
+
+
+class DeadlockError(RuntimeProtocolError):
+    """Raised when every registered task is blocked and no transition is enabled."""
+
+
+class PortClosedError(RuntimeProtocolError):
+    """Raised by send/recv on a closed port, and delivered to blocked peers."""

@@ -1,0 +1,35 @@
+"""Stable fresh-name generation.
+
+Flattening (§IV.C of the paper) inlines composite connector bodies, which
+requires renaming their local variables to unique names: "their exact names
+are immaterial, because their scope is local; only uniqueness matters".
+:class:`FreshNames` produces deterministic unique names so that compilation
+output is reproducible run to run (important for golden tests and codegen).
+"""
+
+from __future__ import annotations
+
+
+def qualify(prefix: str, name: str) -> str:
+    """Join a scope prefix and a local name with the reserved separator ``$``.
+
+    ``$`` cannot appear in DSL identifiers, so qualified names never collide
+    with user-written ones.
+    """
+    return f"{prefix}${name}" if prefix else name
+
+
+class FreshNames:
+    """Deterministic fresh-name supply, one counter per base name."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+
+    def fresh(self, base: str) -> str:
+        """Return ``base$k`` for the smallest unused ``k`` for this base."""
+        k = self._counters.get(base, 0)
+        self._counters[base] = k + 1
+        return f"{base}${k}"
+
+    def reset(self) -> None:
+        self._counters.clear()

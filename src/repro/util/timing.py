@@ -1,0 +1,75 @@
+"""Timing helpers used by the benchmark harness.
+
+The paper's first experiment series measures "the number of global execution
+steps the connector made in four minutes" (§V.B); :class:`ThroughputMeter`
+implements exactly that measurement at a configurable window length.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Monotonic stopwatch with lap support.
+
+    >>> sw = Stopwatch().start()
+    >>> elapsed = sw.stop()
+    """
+
+    def __init__(self) -> None:
+        self._t0: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("stopwatch not started")
+        self.elapsed += time.perf_counter() - self._t0
+        self._t0 = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class ThroughputMeter:
+    """Count events within a fixed wall-clock window.
+
+    ``deadline_reached()`` is cheap enough to call on every event; it only
+    reads the clock every ``check_every`` events.
+    """
+
+    def __init__(self, window_s: float, check_every: int = 64):
+        self.window_s = window_s
+        self.check_every = check_every
+        self.count = 0
+        self._t0 = time.perf_counter()
+        self._deadline = self._t0 + window_s
+        self._since_check = 0
+        self._expired = False
+
+    def tick(self, n: int = 1) -> None:
+        self.count += n
+        self._since_check += n
+
+    def deadline_reached(self) -> bool:
+        if self._expired:
+            return True
+        if self._since_check >= self.check_every:
+            self._since_check = 0
+            if time.perf_counter() >= self._deadline:
+                self._expired = True
+        return self._expired
+
+    @property
+    def rate(self) -> float:
+        """Events per second over the elapsed portion of the window."""
+        dt = time.perf_counter() - self._t0
+        return self.count / dt if dt > 0 else 0.0

@@ -1,0 +1,56 @@
+"""Union-find (disjoint sets) over hashable elements.
+
+Used by the constraint planner (equality propagation between data terms) and
+by the partitioning analysis (grouping automata into synchronous regions).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+
+class UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: dict = {}
+        self._size: dict = {}
+        for e in elements:
+            self.add(e)
+
+    def add(self, e: Hashable) -> None:
+        if e not in self._parent:
+            self._parent[e] = e
+            self._size[e] = 1
+
+    def __contains__(self, e: Hashable) -> bool:
+        return e in self._parent
+
+    def find(self, e: Hashable):
+        self.add(e)
+        root = e
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[e] != root:  # path compression
+            self._parent[e], e = root, self._parent[e]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+    def same(self, a: Hashable, b: Hashable) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> Iterator[frozenset]:
+        """Yield the current partition as frozensets."""
+        by_root: dict = {}
+        for e in self._parent:
+            by_root.setdefault(self.find(e), []).append(e)
+        for members in by_root.values():
+            yield frozenset(members)

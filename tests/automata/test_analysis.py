@@ -1,0 +1,79 @@
+"""Reachability, deadlock detection, statistics, global index."""
+
+from repro.automata.analysis import GlobalIndex, deadlock_states, explore, stats
+from repro.automata.automaton import ConstraintAutomaton, Transition
+from repro.automata.product import product
+from repro.connectors.graph import Arc
+from repro.connectors.primitives import build_automaton
+
+
+def auto(n_states, transitions, initial=0, vertices=None):
+    vs = vertices or {v for t in transitions for v in t.label}
+    return ConstraintAutomaton(
+        n_states, initial, frozenset(vs), tuple(transitions)
+    )
+
+
+def test_explore_reachable_only():
+    a = auto(
+        3,
+        [Transition(0, frozenset({"x"}), 1)],
+        vertices={"x"},
+    )
+    assert explore(a) == {0, 1}  # state 2 unreachable
+
+
+def test_deadlock_states():
+    a = auto(
+        3,
+        [
+            Transition(0, frozenset({"x"}), 1),
+            Transition(1, frozenset({"x"}), 2),
+        ],
+        vertices={"x"},
+    )
+    assert deadlock_states(a) == {2}
+
+
+def test_no_deadlock_in_cyclic():
+    a = auto(2, [
+        Transition(0, frozenset({"x"}), 1),
+        Transition(1, frozenset({"y"}), 0),
+    ], vertices={"x", "y"})
+    assert deadlock_states(a) == set()
+
+
+def test_stats():
+    a = auto(3, [
+        Transition(0, frozenset({"x"}), 1),
+        Transition(0, frozenset({"y"}), 1),
+        Transition(1, frozenset({"x"}), 0),
+    ], vertices={"x", "y"})
+    s = stats(a)
+    assert s.n_states == 3
+    assert s.n_reachable == 2
+    assert s.n_transitions == 3
+    assert s.max_out_degree == 2
+    assert s.n_vertices == 2
+
+
+def test_global_index_by_vertex():
+    f1 = build_automaton(Arc("fifo1", ("a",), ("b",)), "q1")
+    f2 = build_automaton(Arc("fifo1", ("c",), ("d",)), "q2")
+    large = product([f1, f2])
+    idx = GlobalIndex(large)
+    init = large.initial
+    a_candidates = idx.candidates(init, "a")
+    assert all("a" in t.label for t in a_candidates)
+    assert len(a_candidates) == 1
+    assert idx.candidates(init, "b") == ()  # empty fifo: no pop available
+
+
+def test_global_index_internal_steps():
+    f1 = build_automaton(Arc("fifo1", ("a",), ("b",)), "q1")
+    f2 = build_automaton(Arc("fifo1", ("b",), ("c",)), "q2")
+    large = product([f1, f2]).hide({"b"})
+    idx = GlobalIndex(large)
+    # the state with (full, empty) has an internal move b: label hidden
+    has_internal = any(idx.internal[s] for s in range(large.n_states))
+    assert has_internal

@@ -1,0 +1,92 @@
+"""Data-constraint terms/atoms: renaming, hashability, registry."""
+
+import pytest
+
+from repro.automata.constraint import (
+    App,
+    Buf,
+    Const,
+    DEFAULT_REGISTRY,
+    Eq,
+    FunctionRegistry,
+    NotEmpty,
+    NotFull,
+    Pop,
+    Pred,
+    Push,
+    V,
+    rename_atom,
+    rename_effect,
+    rename_term,
+    term_buffers,
+    term_vertices,
+)
+
+
+def test_terms_hashable_and_equal():
+    assert V("a") == V("a")
+    assert hash(Eq(V("a"), Buf("q"))) == hash(Eq(V("a"), Buf("q")))
+    assert App("f", V("a")) != App("g", V("a"))
+
+
+def test_rename_term_nested():
+    t = App("f", App("g", V("x")))
+    renamed = rename_term(t, {"x": "y"}, {})
+    assert renamed == App("f", App("g", V("y")))
+
+
+def test_rename_term_buffer():
+    assert rename_term(Buf("q"), {}, {"q": "p"}) == Buf("p")
+    assert rename_term(Const(3), {"x": "y"}, {}) == Const(3)
+
+
+def test_rename_atom_all_kinds():
+    vmap, bmap = {"a": "A"}, {"q": "Q"}
+    assert rename_atom(Eq(V("a"), Buf("q")), vmap, bmap) == Eq(V("A"), Buf("Q"))
+    assert rename_atom(Pred("p", V("a"), True), vmap, bmap) == Pred("p", V("A"), True)
+    assert rename_atom(NotFull("q"), vmap, bmap) == NotFull("Q")
+    assert rename_atom(NotEmpty("q"), vmap, bmap) == NotEmpty("Q")
+
+
+def test_rename_effect():
+    assert rename_effect(Push("q", V("a")), {"a": "b"}, {"q": "p"}) == Push("p", V("b"))
+    assert rename_effect(Pop("q"), {}, {"q": "p"}) == Pop("p")
+
+
+def test_term_vertices_and_buffers():
+    t = App("f", V("x"))
+    assert term_vertices(t) == frozenset({"x"})
+    assert term_buffers(t) == frozenset()
+    assert term_buffers(App("f", Buf("q"))) == frozenset({"q"})
+    assert term_vertices(Const(0)) == frozenset()
+
+
+def test_registry_lookup_and_missing():
+    reg = FunctionRegistry()
+    reg.register_function("inc", lambda x: x + 1)
+    reg.register_predicate("even", lambda x: x % 2 == 0)
+    assert reg.function("inc")(1) == 2
+    assert reg.predicate("even")(4)
+    with pytest.raises(KeyError):
+        reg.function("nope")
+    with pytest.raises(KeyError):
+        reg.predicate("nope")
+
+
+def test_registry_merge():
+    a = FunctionRegistry()
+    a.register_function("f", lambda x: 1)
+    b = FunctionRegistry()
+    b.register_function("f", lambda x: 2)
+    b.register_predicate("p", lambda x: True)
+    merged = a.merged_with(b)
+    assert merged.function("f")(0) == 2  # other wins
+    assert merged.predicate("p")(0)
+    # originals untouched
+    assert a.function("f")(0) == 1
+
+
+def test_default_registry_has_identity():
+    assert DEFAULT_REGISTRY.function("identity")(7) == 7
+    assert DEFAULT_REGISTRY.predicate("true")(None)
+    assert not DEFAULT_REGISTRY.predicate("false")(None)

@@ -1,0 +1,124 @@
+"""Just-in-time product and the bounded state caches (§IV.D, §V.B)."""
+
+import pytest
+
+from repro.automata.lazy import FIFOCache, LazyProduct, LRUCache, RandomCache, UnboundedCache
+from repro.automata.product import compose_outgoing, product
+from repro.connectors.graph import Arc
+from repro.connectors.primitives import build_automaton
+
+
+def prim(type_, tails, heads, buf="q", **params):
+    return build_automaton(
+        Arc(type_, tuple(tails), tuple(heads), tuple(sorted(params.items()))), buf
+    )
+
+
+def fifo_chain(k):
+    return [
+        prim("fifo1", [f"x{i}"], [f"x{i + 1}"], buf=f"q{i}") for i in range(k)
+    ]
+
+
+def test_initial_state_expanded_up_front():
+    lp = LazyProduct(fifo_chain(3))
+    assert lp.expansions == 1
+    assert lp.initial == (0, 0, 0)
+
+
+def test_lazy_matches_eager_on_reachable_fragment():
+    autos = fifo_chain(4)
+    eager = product(autos)
+    lp = LazyProduct(autos)
+    # BFS over the lazy product, compare reachable state/step counts
+    seen = {lp.initial}
+    frontier = [lp.initial]
+    n_steps = 0
+    while frontier:
+        s = frontier.pop()
+        for step in lp.outgoing(s):
+            n_steps += 1
+            t = step.successor(s)
+            if t not in seen:
+                seen.add(t)
+                frontier.append(t)
+    assert len(seen) == eager.n_states
+    assert n_steps == len(eager.transitions)
+
+
+def test_expansions_cached():
+    lp = LazyProduct(fifo_chain(2))
+    s = lp.initial
+    lp.outgoing(s)
+    lp.outgoing(s)
+    assert lp.expansions == 1
+    assert lp.cache.hits >= 1
+
+
+def test_bounded_cache_evicts_and_recomputes():
+    lp = LazyProduct(fifo_chain(4), cache=LRUCache(2))
+    # walk enough distinct states to force evictions
+    states = [lp.initial]
+    s = lp.initial
+    for _ in range(6):
+        steps = lp.outgoing(s)
+        s = steps[0].successor(s)
+        states.append(s)
+    assert lp.cache.evictions > 0
+    assert len(lp.cache) <= 2
+    before = lp.expansions
+    lp.outgoing(states[0])  # evicted: must recompute
+    assert lp.expansions == before + 1
+
+
+def test_lru_prefers_recent():
+    c = LRUCache(2)
+    c.put("a", 1)
+    c.put("b", 2)
+    assert c.get("a") == 1  # refresh a
+    c.put("c", 3)  # evicts b
+    assert c.get("b") is None
+    assert c.get("a") == 1
+
+
+def test_fifo_evicts_oldest_even_if_hot():
+    c = FIFOCache(2)
+    c.put("a", 1)
+    c.put("b", 2)
+    assert c.get("a") == 1  # hot, but FIFO ignores recency
+    c.put("c", 3)  # evicts a
+    assert c.get("a") is None
+    assert c.get("b") == 2
+
+
+def test_random_cache_seeded_deterministic():
+    def run():
+        c = RandomCache(2, seed=7)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)
+        return {k for k in "abc" if c.get(k) is not None}
+
+    assert run() == run()
+    assert len(run()) == 2
+
+
+def test_cache_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_unbounded_cache_counts():
+    c = UnboundedCache()
+    assert c.get("x") is None
+    c.put("x", 1)
+    assert c.get("x") == 1
+    assert (c.hits, c.misses, c.evictions) == (1, 1, 0)
+
+
+def test_lazy_equivalent_steps_to_compose_outgoing():
+    autos = fifo_chain(3)
+    lp = LazyProduct(autos)
+    direct = compose_outgoing(autos, lp.initial)
+    via = lp.outgoing(lp.initial)
+    assert {s.label for s in direct} == {s.label for s in via}

@@ -1,0 +1,145 @@
+"""Synchronous product (Eq. 1): agreement rule, minimal vs maximal modes,
+budget enforcement, and the paper's Fig. 7(f) example."""
+
+import pytest
+
+from repro.automata.automaton import ConstraintAutomaton, Transition
+from repro.automata.constraint import Eq, V
+from repro.automata.product import compose_outgoing, merged_buffers, product
+from repro.connectors.graph import Arc
+from repro.connectors.primitives import build_automaton
+from repro.util.errors import CompilationBudgetExceeded, WellFormednessError
+
+
+def prim(type_, tails, heads, buf="q", **params):
+    return build_automaton(
+        Arc(type_, tuple(tails), tuple(heads), tuple(sorted(params.items()))), buf
+    )
+
+
+def test_sync_pipeline_composes_to_sync():
+    """§III.C: 'the pipeline composition of two sync channels should behave
+    as a sync channel' — one global step moving data a -> c."""
+    s1 = prim("sync", ["a"], ["b"])
+    s2 = prim("sync", ["b"], ["c"])
+    p = product([s1, s2])
+    assert p.n_states == 1
+    assert len(p.transitions) == 1
+    assert p.transitions[0].label == frozenset({"a", "b", "c"})
+
+
+def test_fig7f_running_example_states():
+    """Fig. 7(f): the product of the Ex. 1 connector has 4 control states
+    (two independent fifo1s; the seq2s constrain transitions, not states)."""
+    from repro.connectors.library import sequenced_merger
+    from repro.compiler.fromgraph import compile_graph
+
+    built = sequenced_merger(2)
+    smalls = compile_graph(built)
+    large = product(smalls)
+    # reachable control states: fifo occupancy (2x2) x seq positions (2x2),
+    # restricted by reachability; the initial protocol admits 4 states.
+    assert large.n_states == 4
+
+
+def test_shared_vertex_agreement():
+    """A transition involving a shared vertex fires iff its partner fires
+    a transition with the same shared vertex."""
+    s1 = prim("sync", ["a"], ["b"])
+    f1 = prim("fifo1", ["b"], ["c"], buf="q1")
+    p = product([s1, f1])
+    # initial state: only the joint {a,b} push step
+    initial_labels = {t.label for t in p.outgoing(p.initial)}
+    assert initial_labels == {frozenset({"a", "b"})}
+
+
+def test_independent_transitions_interleave_minimal():
+    f1 = prim("fifo1", ["a"], ["b"], buf="q1")
+    f2 = prim("fifo1", ["c"], ["d"], buf="q2")
+    steps = compose_outgoing([f1, f2], [0, 0], mode="minimal")
+    labels = {s.label for s in steps}
+    assert labels == {frozenset({"a"}), frozenset({"c"})}
+
+
+def test_independent_transitions_joint_in_maximal():
+    """The textbook product also contains the joint firing — the source of
+    the per-state exponential blow-up of §V.C point 3."""
+    f1 = prim("fifo1", ["a"], ["b"], buf="q1")
+    f2 = prim("fifo1", ["c"], ["d"], buf="q2")
+    steps = compose_outgoing([f1, f2], [0, 0], mode="maximal")
+    labels = {s.label for s in steps}
+    assert labels == {
+        frozenset({"a"}),
+        frozenset({"c"}),
+        frozenset({"a", "c"}),
+    }
+
+
+def test_maximal_transition_count_exponential():
+    k = 6
+    fifos = [prim("fifo1", [f"a{i}"], [f"b{i}"], buf=f"q{i}") for i in range(k)]
+    steps = compose_outgoing(fifos, [0] * k, mode="maximal")
+    assert len(steps) == 2**k - 1
+    minimal = compose_outgoing(fifos, [0] * k, mode="minimal")
+    assert len(minimal) == k
+
+
+def test_state_budget_enforced():
+    fifos = [prim("fifo1", [f"a{i}"], [f"b{i}"], buf=f"q{i}") for i in range(8)]
+    with pytest.raises(CompilationBudgetExceeded):
+        product(fifos, state_budget=10)
+
+
+def test_time_budget_enforced():
+    fifos = [prim("fifo1", [f"a{i}"], [f"b{i}"], buf=f"q{i}") for i in range(14)]
+    with pytest.raises(CompilationBudgetExceeded):
+        product(fifos, state_budget=None, time_budget_s=0.05)
+
+
+def test_product_reachable_only():
+    """Only states reachable from the joint initial state are built."""
+    f1 = prim("fifo1", ["a"], ["b"], buf="q1")
+    f2 = prim("fifo1", ["b"], ["c"], buf="q2")
+    p = product([f1, f2])
+    # 4 combinations minus the unreachable? all 4 are reachable here:
+    # (e,e) -a-> (f,e) -tau-> (e,f) -a-> (f,f)
+    assert p.n_states == 4
+
+
+def test_empty_composition_rejected():
+    with pytest.raises(WellFormednessError):
+        product([])
+
+
+def test_single_automaton_returned_as_is():
+    f1 = prim("fifo1", ["a"], ["b"], buf="q1")
+    assert product([f1]) is f1
+
+
+def test_merged_buffers_conflict():
+    f1 = prim("fifo1", ["a"], ["b"], buf="q")
+    f2 = prim("fifon", ["c"], ["d"], buf="q", capacity=3)
+    with pytest.raises(WellFormednessError):
+        merged_buffers([f1, f2])
+
+
+def test_merged_buffers_same_spec_ok():
+    f1 = prim("fifo1", ["a"], ["b"], buf="q")
+    halves = f1.meta["decoupled"]
+    assert len(merged_buffers(list(halves))) == 1
+
+
+def test_atoms_and_effects_concatenate():
+    s1 = prim("sync", ["a"], ["b"])
+    s2 = prim("sync", ["b"], ["c"])
+    p = product([s1, s2])
+    t = p.transitions[0]
+    assert Eq(V("a"), V("b")) in t.atoms
+    assert Eq(V("b"), V("c")) in t.atoms
+
+
+def test_unknown_mode_rejected():
+    s1 = prim("sync", ["a"], ["b"])
+    s2 = prim("sync", ["b"], ["c"])
+    with pytest.raises(ValueError):
+        compose_outgoing([s1, s2], [0, 0], mode="bogus")

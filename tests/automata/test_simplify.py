@@ -1,0 +1,168 @@
+"""Commandification: firing plans for representative transition constraints."""
+
+import pytest
+
+from repro.automata.constraint import (
+    App,
+    Buf,
+    Const,
+    Eq,
+    FunctionRegistry,
+    NotEmpty,
+    NotFull,
+    Pop,
+    Pred,
+    Push,
+    V,
+)
+from repro.automata.automaton import BufferSpec
+from repro.automata.simplify import commandify
+from repro.runtime.buffers import BufferStore
+from repro.util.errors import ConstraintError
+
+
+REG = FunctionRegistry()
+REG.register_function("inc", lambda x: x + 1)
+REG.register_predicate("even", lambda x: x % 2 == 0)
+
+
+def plan_for(label, atoms=(), effects=(), sources=frozenset(), sinks=frozenset()):
+    return commandify(
+        frozenset(label), tuple(atoms), tuple(effects),
+        frozenset(sources), frozenset(sinks), REG,
+    )
+
+
+def store(**buffers):
+    s = BufferStore()
+    for name, (cap, init) in buffers.items():
+        s.declare(BufferSpec(name, capacity=cap, initial=tuple(init)))
+    return s
+
+
+def test_sync_delivery():
+    """sync(a;b): b receives exactly the value sent on a."""
+    p = plan_for({"a", "b"}, [Eq(V("a"), V("b"))], sources={"a"}, sinks={"b"})
+    slots = p.evaluate({"a": 42}, store())
+    assert slots is not None
+    assert p.commit(store(), slots) == {"b": 42}
+
+
+def test_transform_applies_function():
+    p = plan_for(
+        {"a", "b"}, [Eq(V("b"), App("inc", V("a")))], sources={"a"}, sinks={"b"}
+    )
+    slots = p.evaluate({"a": 41}, store())
+    assert p.commit(store(), slots) == {"b": 42}
+
+
+def test_filter_predicate_pass_and_block():
+    p = plan_for(
+        {"a", "b"},
+        [Pred("even", V("a")), Eq(V("a"), V("b"))],
+        sources={"a"},
+        sinks={"b"},
+    )
+    assert p.evaluate({"a": 2}, store()) is not None
+    assert p.evaluate({"a": 3}, store()) is None
+
+
+def test_negated_predicate():
+    p = plan_for({"a"}, [Pred("even", V("a"), negate=True)], sources={"a"})
+    assert p.evaluate({"a": 3}, store()) is not None
+    assert p.evaluate({"a": 2}, store()) is None
+
+
+def test_fifo_push_guarded_by_capacity():
+    p = plan_for({"a"}, [NotFull("q")], [Push("q", V("a"))], sources={"a"})
+    s = store(q=(1, []))
+    slots = p.evaluate({"a": "m"}, s)
+    p.commit(s, slots)
+    assert s.snapshot()["q"] == ("m",)
+    # full now
+    assert p.evaluate({"a": "m2"}, s) is None
+
+
+def test_fifo_pop_delivers_front():
+    p = plan_for(
+        {"b"}, [NotEmpty("q"), Eq(V("b"), Buf("q"))], [Pop("q")], sinks={"b"}
+    )
+    s = store(q=(2, ["x", "y"]))
+    slots = p.evaluate({}, s)
+    assert p.commit(s, slots) == {"b": "x"}
+    assert s.snapshot()["q"] == ("y",)
+
+
+def test_peek_implies_not_empty_guard():
+    p = plan_for({"b"}, [Eq(V("b"), Buf("q"))], [Pop("q")], sinks={"b"})
+    assert p.evaluate({}, store(q=(1, []))) is None
+
+
+def test_equality_chain_through_internal_vertex():
+    """merger-then-sync: value flows a -> m -> b with m internal."""
+    p = plan_for(
+        {"a", "m", "b"},
+        [Eq(V("a"), V("m")), Eq(V("m"), V("b"))],
+        sources={"a"},
+        sinks={"b"},
+    )
+    slots = p.evaluate({"a": 9}, store())
+    assert p.commit(store(), slots) == {"b": 9}
+
+
+def test_two_sources_must_agree():
+    """An equality between two task-sent values becomes a runtime check."""
+    p = plan_for(
+        {"a", "b"}, [Eq(V("a"), V("b"))], sources={"a", "b"}
+    )
+    assert p.evaluate({"a": 1, "b": 1}, store()) is not None
+    assert p.evaluate({"a": 1, "b": 2}, store()) is None
+
+
+def test_statically_false_constraint():
+    p = plan_for({"a"}, [Eq(Const(1), Const(2))], sources={"a"})
+    assert p.never
+    assert p.evaluate({"a": 0}, store()) is None
+
+
+def test_spout_delivers_none():
+    p = plan_for({"b1", "b2"}, sinks={"b1", "b2"})
+    slots = p.evaluate({}, store())
+    assert p.commit(store(), slots) == {"b1": None, "b2": None}
+
+
+def test_undetermined_push_rejected():
+    with pytest.raises(ConstraintError):
+        plan_for({"a"}, [], [Push("q", V("z"))], sources={"a"})
+
+
+def test_undetermined_predicate_rejected():
+    with pytest.raises(ConstraintError):
+        plan_for({"a"}, [Pred("even", V("z"))], sources={"a"})
+
+
+def test_evaluate_does_not_mutate():
+    p = plan_for(
+        {"b"}, [NotEmpty("q"), Eq(V("b"), Buf("q"))], [Pop("q")], sinks={"b"}
+    )
+    s = store(q=(1, ["v"]))
+    p.evaluate({}, s)
+    p.evaluate({}, s)
+    assert s.snapshot()["q"] == ("v",)
+
+
+def test_const_equality_delivery():
+    p = plan_for({"b"}, [Eq(V("b"), Const("tok"))], sinks={"b"})
+    slots = p.evaluate({}, store())
+    assert p.commit(store(), slots) == {"b": "tok"}
+
+
+def test_function_check_on_resolved_class():
+    """f(x) == y with both x and y known becomes a runtime consistency check."""
+    p = plan_for(
+        {"a", "b"},
+        [Eq(V("b"), App("inc", V("a")))],
+        sources={"a", "b"},
+    )
+    assert p.evaluate({"a": 1, "b": 2}, store()) is not None
+    assert p.evaluate({"a": 1, "b": 5}, store()) is None

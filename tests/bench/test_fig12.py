@@ -1,0 +1,55 @@
+"""Fig. 12 runner: classification logic and report rendering (tiny runs)."""
+
+from repro.bench.fig12 import BINS, Fig12Report, classify, run_fig12
+from repro.bench.harness import ThroughputSample
+
+
+def s(rate, failed=False):
+    sample = ThroughputSample(steps=int(rate), window_s=1.0, setup_s=0.0,
+                              failed=failed, failure="X" if failed else "")
+    return sample
+
+
+def test_classify_bins():
+    assert classify(s(100), s(0, failed=True)) == "fail"
+    assert classify(s(100), s(90)) == "new"
+    assert classify(s(100), s(100)) == "new"  # ties go to the new approach
+    assert classify(s(100), s(500)) == "ex10"
+    assert classify(s(1), s(5000)) == "ex100"
+
+
+def test_report_counts_and_pie():
+    report = run_fig12(
+        names=("Replicator", "SequencedMerger"),
+        ns=(2, 4),
+        window_s=0.05,
+        state_budget=20_000,
+        compile_time_budget_s=2.0,
+    )
+    assert len(report.cells) == 4
+    counts = report.counts_by_n()
+    assert set(counts) == {2, 4}
+    assert all(sum(c.values()) == 2 for c in counts.values())
+    pie = report.pie()
+    assert abs(sum(pie.values()) - 100.0) < 1e-9
+    text = report.render(detail=True)
+    assert "Bar chart" in text and "Pie chart" in text
+    assert "Replicator" in text
+
+
+def test_existing_fails_at_large_n_for_exponential_connector():
+    report = run_fig12(
+        names=("EarlyAsyncMerger",),
+        ns=(2, 16),
+        window_s=0.05,
+        state_budget=1000,
+        compile_time_budget_s=1.0,
+    )
+    by_n = {c.n: c for c in report.cells}
+    assert not by_n[2].existing.failed
+    assert by_n[16].existing.failed
+    assert by_n[16].bin == "fail"
+
+
+def test_bins_constant():
+    assert BINS == ("fail", "new", "ex10", "ex100")

@@ -1,0 +1,29 @@
+"""Fig. 13 runner: result structure and rendering (class S, tiny N)."""
+
+from repro.bench.fig13 import render, run_fig13
+
+
+def test_runs_and_verifies():
+    results = run_fig13(
+        programs=("cg",), classes=("S",), ns=(2,), repeats=1
+    )
+    rows = results[("cg", "S")]
+    assert len(rows) == 1
+    n, t_orig, t_reo, ok = rows[0]
+    assert n == 2 and ok
+    assert t_orig > 0 and t_reo > 0
+
+
+def test_render():
+    results = run_fig13(programs=("lu",), classes=("S",), ns=(2,))
+    text = render(results)
+    assert "LU, size S" in text
+    assert "original(s)" in text
+    assert "OK" in text
+
+
+def test_partitioned_variant():
+    results = run_fig13(
+        programs=("cg",), classes=("S",), ns=(2,), use_partitioning=True
+    )
+    assert results[("cg", "S")][0][3]  # verified

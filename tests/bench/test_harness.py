@@ -1,0 +1,42 @@
+"""Throughput harness: sampling, failure capture, setup accounting."""
+
+from repro.bench.harness import drive_connector
+from repro.connectors import library
+
+
+def test_drive_counts_steps():
+    sample = drive_connector(
+        lambda: library.connector("Replicator", 2), window_s=0.1
+    )
+    assert not sample.failed
+    assert sample.steps > 0
+    assert sample.rate > 0
+    assert sample.window_s >= 0.05
+
+
+def test_drive_captures_compile_failure():
+    from repro.compiler import compile_existing
+
+    def make():
+        compiled = compile_existing(
+            library.dsl_source("EarlyAsyncMerger"),
+            "EarlyAsyncMerger",
+            sizes=10,
+            state_budget=50,
+        )
+        return compiled.instantiate_connector()
+
+    sample = drive_connector(make, window_s=0.05)
+    assert sample.failed
+    assert "CompilationBudgetExceeded" in sample.failure
+    assert sample.steps == 0
+
+
+def test_steady_mode_excludes_setup():
+    sample = drive_connector(
+        lambda: library.connector("Merger", 2),
+        window_s=0.1,
+        include_setup=False,
+    )
+    assert not sample.failed
+    assert sample.steps > 0

@@ -1,0 +1,42 @@
+"""Graph-based compilation entry point."""
+
+import pytest
+
+from repro.compiler.fromgraph import compile_graph, connector_from_graph
+from repro.connectors import library
+from repro.util.errors import WellFormednessError
+
+from tests.conftest import pump
+
+
+def test_compile_graph_one_automaton_per_arc():
+    built = library.build_graph("SequencedMerger", 2)
+    autos = compile_graph(built)
+    assert len(autos) == len(built.graph.arcs)
+
+
+def test_compile_graph_validates():
+    from repro.connectors.graph import Arc, prim
+    from repro.connectors.library import BuiltConnector
+
+    bad = BuiltConnector(
+        prim(Arc("sync", ("a",), ("x",))) | prim(Arc("sync", ("b",), ("x",))),
+        ("a", "b"),
+        (),
+    )
+    with pytest.raises(WellFormednessError):
+        compile_graph(bad)
+
+
+def test_connector_from_graph_runs():
+    conn = connector_from_graph(library.build_graph("Replicator", 2))
+    got = pump(conn, {0: [7]}, {0: 1, 1: 1})
+    assert got == {0: [7], 1: [7]}
+
+
+def test_connector_from_graph_options():
+    conn = connector_from_graph(
+        library.build_graph("Merger", 2), composition="aot", name="M"
+    )
+    got = pump(conn, {0: ["a"], 1: ["b"]}, {0: 2})
+    assert sorted(got[0]) == ["a", "b"]

@@ -1,0 +1,42 @@
+"""DOT rendering of graphs and automata."""
+
+from repro.connectors import library
+from repro.connectors.dot import automaton_to_dot, graph_to_dot
+from repro.connectors.graph import Arc, prim
+from repro.connectors.primitives import build_automaton
+
+
+def test_graph_dot_structure():
+    built = library.build_graph("SequencedMerger", 2)
+    dot = graph_to_dot(built.graph, set(built.tails), set(built.heads))
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert "->" in dot
+    # boundary vertices drawn as triangles
+    assert "triangle" in dot and "invtriangle" in dot
+
+
+def test_graph_dot_hyperarcs_get_hub():
+    built = library.build_graph("Replicator", 3)
+    dot = graph_to_dot(built.graph, set(built.tails), set(built.heads))
+    assert "shape=box" in dot  # the replicator hyperarc
+
+
+def test_graph_dot_plain_edges_for_binary():
+    g = prim(Arc("sync", ("a",), ("b",)))
+    dot = graph_to_dot(g)
+    assert '"a" -> "b"' in dot
+
+
+def test_automaton_dot():
+    a = build_automaton(Arc("fifo1", ("x",), ("y",)), "q")
+    dot = automaton_to_dot(a)
+    assert "digraph" in dot
+    assert "__init" in dot
+    assert "{x}" in dot and "{y}" in dot
+
+
+def test_dot_quoting():
+    g = prim(Arc("sync", ("a",), ("b",)))
+    dot = graph_to_dot(g, name='we"ird')
+    assert '\\"' in dot

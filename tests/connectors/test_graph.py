@@ -1,0 +1,104 @@
+"""Connector graphs: ⊕ composition, primitives, well-formedness."""
+
+import pytest
+
+from repro.connectors.graph import Arc, ConnectorGraph, prim
+from repro.util.errors import WellFormednessError
+
+
+def arc(type_, tails, heads, **params):
+    return Arc(type_, tuple(tails), tuple(heads), tuple(sorted(params.items())))
+
+
+def test_prim_is_primitive():
+    g = prim(arc("sync", ["a"], ["b"]))
+    assert g.is_primitive
+    assert not g.is_composite
+    assert g.vertices == {"a", "b"}
+
+
+def test_union_composition():
+    g1 = prim(arc("sync", ["a"], ["b"]))
+    g2 = prim(arc("fifo1", ["b"], ["c"]))
+    g = g1 | g2
+    assert g.is_composite
+    assert g.vertices == {"a", "b", "c"}
+    assert len(g.arcs) == 2
+
+
+def test_union_idempotent_on_same_arc():
+    """⊕ is set union: composing a connector with itself changes nothing."""
+    g = prim(arc("sync", ["a"], ["b"]))
+    assert len((g | g).arcs) == 1
+
+
+def test_primitives_representation():
+    g = prim(arc("sync", ["a"], ["b"])) | prim(arc("sync", ["b"], ["c"]))
+    prims = g.primitives()
+    assert len(prims) == 2
+    assert all(p.is_primitive for p in prims)
+    # Γ recomposes to the original connector
+    recomposed = prims[0] | prims[1]
+    assert recomposed.vertices == g.vertices
+    assert set(recomposed.arcs) == set(g.arcs)
+
+
+def test_public_vertices():
+    """Paper §III.A: a vertex is public iff it has at most one incoming or
+    outgoing arc."""
+    g = prim(arc("sync", ["a"], ["b"])) | prim(arc("sync", ["b"], ["c"]))
+    assert g.public_vertices() == {"a", "c"}
+
+
+def test_writers_readers():
+    g = prim(arc("sync", ["a"], ["b"])) | prim(arc("sync", ["b"], ["c"]))
+    assert len(g.writers("b")) == 1
+    assert len(g.readers("b")) == 1
+    assert g.writers("a") == []
+
+
+def test_validate_accepts_well_formed():
+    g = prim(arc("fifo1", ["a"], ["b"]))
+    g.validate(sources={"a"}, sinks={"b"})
+
+
+def test_validate_rejects_double_writer():
+    g = prim(arc("sync", ["a"], ["x"])) | prim(arc("sync", ["b"], ["x"]))
+    with pytest.raises(WellFormednessError, match="merger"):
+        g.validate()
+
+
+def test_validate_rejects_double_reader():
+    g = prim(arc("sync", ["x"], ["a"])) | prim(arc("sync", ["x"], ["b"]))
+    with pytest.raises(WellFormednessError, match="replicator"):
+        g.validate()
+
+
+def test_validate_rejects_boundary_conflict():
+    g = prim(arc("sync", ["a"], ["b"]))
+    with pytest.raises(WellFormednessError):
+        g.validate(sources={"b"})  # b written by arc AND by a task
+
+
+def test_validate_rejects_unknown_boundary():
+    g = prim(arc("sync", ["a"], ["b"]))
+    with pytest.raises(WellFormednessError):
+        g.validate(sources={"zzz"})
+
+
+def test_dangling_vertices():
+    g = prim(arc("sync", ["a"], ["b"]))
+    assert g.dangling_vertices() == {"a", "b"}
+    assert g.dangling_vertices(sources={"a"}, sinks={"b"}) == set()
+
+
+def test_arc_param_access():
+    a = arc("fifon", ["a"], ["b"], capacity=4)
+    assert a.param("capacity") == 4
+    assert a.param("missing", "dflt") == "dflt"
+
+
+def test_str_representations():
+    a = arc("fifon", ["a"], ["b"], capacity=4)
+    assert "fifon" in str(a) and "capacity" in str(a)
+    assert "mult" in str(prim(a) | prim(arc("sync", ["b"], ["c"])))

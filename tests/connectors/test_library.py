@@ -1,0 +1,337 @@
+"""Behavioural tests of the 18 library connectors (direct graph builders).
+
+Each test pins down the connector's defining protocol property — ordering,
+synchrony, exclusivity, mutual exclusion — by running real tasks through the
+runtime engine.
+"""
+
+import queue
+import threading
+
+import pytest
+
+from repro.compiler.fromgraph import connector_from_graph
+from repro.connectors import library
+from repro.runtime.ports import mkports
+from repro.runtime.tasks import TaskGroup
+from repro.util.errors import PortClosedError, WellFormednessError
+
+from tests.conftest import pump
+
+
+def conn_for(name, n, **opt):
+    return connector_from_graph(library.build_graph(name, n), name=name, **opt)
+
+
+def test_names_exactly_18():
+    assert len(library.names()) == 18
+
+
+@pytest.mark.parametrize("name", library.names())
+@pytest.mark.parametrize("n", [1, 2, 4])
+def test_graphs_validate(name, n):
+    library.build_graph(name, n)  # validates internally
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        library.build_graph("Nope", 2)
+
+
+def test_n_zero_rejected():
+    with pytest.raises(WellFormednessError):
+        library.build_graph("Merger", 0)
+
+
+# -- synchronous routing ------------------------------------------------------
+
+
+def test_merger_delivers_everything():
+    c = conn_for("Merger", 3)
+    got = pump(c, {0: ["a1", "a2"], 1: ["b1"], 2: ["c1"]}, {0: 4})
+    assert sorted(got[0]) == ["a1", "a2", "b1", "c1"]
+    # per-producer order preserved (merger is synchronous per message)
+    a_msgs = [m for m in got[0] if m.startswith("a")]
+    assert a_msgs == ["a1", "a2"]
+
+
+def test_replicator_broadcasts_to_all():
+    c = conn_for("Replicator", 3)
+    got = pump(c, {0: [1, 2, 3]}, {0: 3, 1: 3, 2: 3})
+    assert got[0] == got[1] == got[2] == [1, 2, 3]
+
+
+def test_router_delivers_each_exactly_once():
+    c = conn_for("Router", 3)
+    c_outs, c_ins = mkports(1, 3)
+    c.connect(c_outs, c_ins)
+    received = queue.SimpleQueue()
+
+    def consumer(p):
+        try:
+            while True:
+                received.put(p.recv())
+        except PortClosedError:
+            pass
+
+    with TaskGroup() as g:
+        handles = [g.spawn(consumer, p) for p in c_ins]
+        g.spawn(lambda: [c_outs[0].send(k) for k in range(12)]).join()
+        import time
+
+        time.sleep(0.1)
+        c.close()
+    got = []
+    while not received.empty():
+        got.append(received.get())
+    assert sorted(got) == list(range(12))
+
+
+# -- async variants ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["EarlyAsyncMerger", "LateAsyncMerger",
+                                  "EarlyAsyncBarrierMerger"])
+def test_async_mergers_deliver_everything(name):
+    c = conn_for(name, 3)
+    got = pump(c, {0: ["a"], 1: ["b"], 2: ["c"]}, {0: 3})
+    assert sorted(got[0]) == ["a", "b", "c"]
+
+
+@pytest.mark.parametrize("name", ["EarlyAsyncReplicator", "LateAsyncReplicator"])
+def test_async_replicators_broadcast(name):
+    c = conn_for(name, 2)
+    got = pump(c, {0: [1, 2]}, {0: 2, 1: 2})
+    assert got[0] == [1, 2]
+    assert got[1] == [1, 2]
+
+
+@pytest.mark.parametrize("name", ["EarlyAsyncRouter", "LateAsyncRouter"])
+def test_async_routers_route_exclusively(name):
+    c = conn_for(name, 2)
+    outs, ins = mkports(1, 2)
+    c.connect(outs, ins)
+    got = queue.SimpleQueue()
+
+    def consumer(p):
+        try:
+            while True:
+                got.put(p.recv())
+        except PortClosedError:
+            pass
+
+    with TaskGroup() as g:
+        for p in ins:
+            g.spawn(consumer, p)
+        g.spawn(lambda: [outs[0].send(k) for k in range(8)]).join()
+        import time
+
+        time.sleep(0.1)
+        c.close()
+    items = []
+    while not got.empty():
+        items.append(got.get())
+    assert sorted(items) == list(range(8))
+
+
+def test_early_async_merger_buffers_decouple_producers():
+    """Producers can complete sends before the consumer ever receives."""
+    c = conn_for("EarlyAsyncMerger", 2)
+    outs, ins = mkports(2, 1)
+    c.connect(outs, ins)
+    outs[0].send("x")  # completes: buffered in the per-producer fifo
+    outs[1].send("y")
+    got = {ins[0].recv(), ins[0].recv()}
+    c.close()
+    assert got == {"x", "y"}
+
+
+def test_late_async_merger_single_buffer():
+    """Only one buffer behind the merger: a second send blocks until the
+    consumer drains the first."""
+    c = conn_for("LateAsyncMerger", 2)
+    outs, ins = mkports(2, 1)
+    c.connect(outs, ins)
+    outs[0].send("x")
+    assert not outs[1].try_send("y")  # fifo full
+    assert ins[0].recv() == "x"
+    assert outs[1].try_send("y")
+    c.close()
+
+
+# -- sequencing ------------------------------------------------------------------
+
+
+def test_sequencer_cyclic_turns():
+    c = conn_for("Sequencer", 3)
+    outs, _ = mkports(3, 0)
+    c.connect(outs, [])
+    for _round in range(2):
+        for turn in range(3):
+            for i, o in enumerate(outs):
+                ok = o.try_send("x")
+                assert ok == (i == turn)
+                if ok:
+                    break
+    c.close()
+
+
+def test_out_sequencer_round_robin():
+    c = conn_for("OutSequencer", 3)
+    got = pump(c, {0: list(range(6))}, {0: 2, 1: 2, 2: 2})
+    assert got == {0: [0, 3], 1: [1, 4], 2: [2, 5]}
+
+
+def test_early_async_out_sequencer_decouples_producer():
+    c = conn_for("EarlyAsyncOutSequencer", 2)
+    outs, ins = mkports(1, 2)
+    c.connect(outs, ins)
+    outs[0].send("a")  # buffered; no consumer yet
+    assert ins[0].recv() == "a"
+    outs[0].send("b")
+    assert ins[1].recv() == "b"
+    c.close()
+
+
+def test_alternator_round_robin_interleaving():
+    c = conn_for("Alternator", 3)
+    got = pump(
+        c,
+        {0: ["a0", "a1"], 1: ["b0", "b1"], 2: ["c0", "c1"]},
+        {0: 6},
+    )
+    assert got[0] == ["a0", "b0", "c0", "a1", "b1", "c1"]
+
+
+def test_alternator_synchronizes_producer_rounds():
+    """Producer 1 cannot start round 2 before the others did round 1."""
+    c = conn_for("Alternator", 2)
+    outs, ins = mkports(2, 1)
+    c.connect(outs, ins)
+    assert not outs[0].try_send("a0")  # round fires only when both offer
+    done = threading.Event()
+
+    def other():
+        outs[1].send("b0")
+        done.set()
+
+    with TaskGroup() as g:
+        g.spawn(other)
+        outs[0].send("a0")
+        assert ins[0].recv() == "a0"
+        assert ins[0].recv() == "b0"
+        done.wait(5)
+    c.close()
+
+
+# -- barriers and locks ------------------------------------------------------------
+
+
+def test_barrier_lock_step():
+    c = conn_for("Barrier", 2)
+    got = pump(
+        c, {0: ["a0", "a1"], 1: ["b0", "b1"]}, {0: 2, 1: 2}
+    )
+    assert got[0] == ["a0", "a1"]
+    assert got[1] == ["b0", "b1"]
+
+
+def test_barrier_blocks_until_all_offer():
+    c = conn_for("Barrier", 2)
+    outs, ins = mkports(2, 2)
+    c.connect(outs, ins)
+    assert not outs[0].try_send("a")  # partner not ready
+    c.close()
+
+
+def test_lock_mutual_exclusion():
+    n = 3
+    c = conn_for("Lock", n)
+    outs, _ = mkports(2 * n, 0)
+    c.connect(outs, [])
+    acquires, releases = outs[:n], outs[n:]
+    inside: list[str] = []
+    violations: list = []
+    lk = threading.Lock()
+
+    def client(i):
+        for _ in range(20):
+            acquires[i].send("acq")
+            with lk:
+                inside.append(i)
+                if len(inside) > 1:
+                    violations.append(tuple(inside))
+            with lk:
+                inside.remove(i)
+            releases[i].send("rel")
+
+    with TaskGroup() as g:
+        for i in range(n):
+            g.spawn(client, i)
+    c.close()
+    assert not violations
+
+
+def test_lock_release_required_before_next_acquire():
+    c = conn_for("Lock", 2)
+    outs, _ = mkports(4, 0)
+    c.connect(outs, [])
+    a1, a2, r1, _r2 = outs
+    a1.send("acq")
+    assert not a2.try_send("acq")  # token taken
+    r1.send("rel")
+    assert a2.try_send("acq")
+    c.close()
+
+
+# -- pipelines and the running example ------------------------------------------------
+
+
+def test_fifo_chain_order_and_capacity():
+    n = 3
+    c = conn_for("FifoChain", n)
+    outs, ins = mkports(1, 1)
+    c.connect(outs, ins)
+    # capacity n: n sends complete without any receive
+    for k in range(n):
+        assert outs[0].try_send(k), k
+    assert not outs[0].try_send(99)
+    got = [ins[0].recv() for _ in range(n)]
+    assert got == [0, 1, 2]
+    c.close()
+
+
+def test_sequenced_merger_total_order():
+    c = conn_for("SequencedMerger", 3)
+    got = pump(
+        c,
+        {0: ["a0", "a1"], 1: ["b0", "b1"], 2: ["c0", "c1"]},
+        {0: 2, 1: 2, 2: 2},
+    )
+    assert got[0] == ["a0", "a1"]
+    assert got[1] == ["b0", "b1"]
+    assert got[2] == ["c0", "c1"]
+
+
+def test_sequenced_merger_gates_second_producer():
+    """Ex. 1/Ex. 6: B's send cannot complete before A's message has been
+    delivered to C."""
+    c = conn_for("SequencedMerger", 2)
+    outs, ins = mkports(2, 2)
+    c.connect(outs, ins)
+    assert not outs[1].try_send("b")  # A goes strictly first
+    outs[0].send("a")
+    assert not outs[1].try_send("b")  # still: C must receive A's message
+    assert ins[0].recv() == "a"
+    assert outs[1].try_send("b")
+    assert ins[1].recv() == "b"
+    c.close()
+
+
+def test_sequenced_merger_n1_degenerates_to_fifo():
+    c = conn_for("SequencedMerger", 1)
+    outs, ins = mkports(1, 1)
+    c.connect(outs, ins)
+    outs[0].send("only")
+    assert ins[0].recv() == "only"
+    c.close()

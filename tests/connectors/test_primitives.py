@@ -1,0 +1,178 @@
+"""Primitive arc types and their small automata (Fig. 6/7 + extended set)."""
+
+import pytest
+
+from repro.automata.constraint import Eq, Pred, V
+from repro.connectors.graph import Arc
+from repro.connectors.primitives import (
+    PRIMITIVES,
+    arity_suffix,
+    build_automaton,
+    graph_to_automata,
+    primitive_type,
+)
+from repro.connectors.graph import ConnectorGraph, prim
+from repro.util.errors import WellFormednessError
+
+
+def build(type_, tails, heads, buf="q", **params):
+    return build_automaton(
+        Arc(type_, tuple(tails), tuple(heads), tuple(sorted(params.items()))), buf
+    )
+
+
+def test_sync():
+    a = build("sync", ["x"], ["y"])
+    assert a.n_states == 1
+    (t,) = a.transitions
+    assert t.label == frozenset({"x", "y"})
+    assert Eq(V("x"), V("y")) in t.atoms
+
+
+def test_lossysync_two_options():
+    a = build("lossysync", ["x"], ["y"])
+    labels = {t.label for t in a.transitions}
+    assert labels == {frozenset({"x", "y"}), frozenset({"x"})}
+
+
+def test_syncdrain_syncspout():
+    d = build("syncdrain", ["x", "y"], [])
+    assert d.transitions[0].label == frozenset({"x", "y"})
+    s = build("syncspout", [], ["x", "y"])
+    assert s.transitions[0].label == frozenset({"x", "y"})
+
+
+def test_merger_one_transition_per_tail():
+    a = build("merger", ["x", "y", "z"], ["h"])
+    assert len(a.transitions) == 3
+    assert all("h" in t.label for t in a.transitions)
+
+
+def test_replicator_single_joint_transition():
+    a = build("replicator", ["t"], ["h1", "h2", "h3"])
+    (t,) = a.transitions
+    assert t.label == frozenset({"t", "h1", "h2", "h3"})
+    assert len(t.atoms) == 3
+
+
+def test_router_exclusive():
+    a = build("router", ["t"], ["h1", "h2"])
+    assert len(a.transitions) == 2
+    for t in a.transitions:
+        assert len(t.label) == 2  # t plus exactly one head
+
+
+def test_seq_cyclic_states():
+    a = build("seq", ["v1", "v2", "v3"], [])
+    assert a.n_states == 3
+    targets = {t.source: t.target for t in a.transitions}
+    assert targets == {0: 1, 1: 2, 2: 0}
+
+
+def test_fifo1_two_states_with_buffer():
+    a = build("fifo1", ["x"], ["y"], buf="mybuf")
+    assert a.n_states == 2
+    assert a.initial == 0
+    assert a.buffers[0].name == "mybuf"
+    assert a.buffers[0].capacity == 1
+
+
+def test_fifo1_full_starts_full():
+    a = build("fifo1_full", ["x"], ["y"], initial="tok")
+    assert a.initial == 1
+    assert a.buffers[0].initial == ("tok",)
+
+
+def test_fifon_state_count():
+    a = build("fifon", ["x"], ["y"], capacity=4)
+    assert a.n_states == 5
+    assert a.buffers[0].capacity == 4
+
+
+def test_fifon_requires_capacity():
+    with pytest.raises(WellFormednessError):
+        build("fifon", ["x"], ["y"])
+
+
+def test_fifo_unbounded_single_state():
+    a = build("fifo", ["x"], ["y"])
+    assert a.n_states == 1
+    assert a.buffers[0].capacity is None
+
+
+def test_filter_requires_pred():
+    with pytest.raises(WellFormednessError):
+        build("filter", ["x"], ["y"])
+    a = build("filter", ["x"], ["y"], pred="even")
+    kinds = {tuple(type(at).__name__ for at in t.atoms) for t in a.transitions}
+    assert any("Pred" in k for k in kinds)
+
+
+def test_transform_requires_func():
+    with pytest.raises(WellFormednessError):
+        build("transform", ["x"], ["y"])
+
+
+def test_arity_checked():
+    with pytest.raises(WellFormednessError):
+        build("sync", ["x", "y"], ["z"])
+    with pytest.raises(WellFormednessError):
+        build("merger", [], ["h"])
+    with pytest.raises(WellFormednessError):
+        build("syncdrain", ["x"], [])
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(WellFormednessError):
+        build_automaton(Arc("wormhole", ("a",), ("b",)), "q")
+
+
+def test_primitive_type_resolution():
+    assert primitive_type("sync").name == "sync"
+    assert primitive_type("Fifo1").name == "fifo1"
+    assert primitive_type("Repl2").name == "replicator"
+    assert primitive_type("Seq2").name == "seq"
+    assert primitive_type("Merg3").name == "merger"
+    assert primitive_type("Router2").name == "router"
+    assert primitive_type("Fifo3").name == "fifon"
+    assert primitive_type("NoSuchThing") is None
+
+
+def test_arity_suffix():
+    assert arity_suffix("Seq2") == 2
+    assert arity_suffix("Repl16") == 16
+    assert arity_suffix("Sync") is None
+    assert arity_suffix("Fifo3") == 3
+
+
+def test_graph_to_automata_unique_buffers():
+    g = (
+        prim(Arc("fifo1", ("a",), ("b",)))
+        | prim(Arc("fifo1", ("b",), ("c",)))
+    )
+    autos = graph_to_automata(g)
+    names = [a.buffers[0].name for a in autos]
+    assert len(set(names)) == 2
+
+
+def test_all_registered_primitives_buildable():
+    """Every registry entry constructs a valid automaton at minimal arity."""
+    shapes = {
+        "sync": (1, 1), "lossysync": (1, 1), "syncdrain": (2, 0),
+        "syncspout": (0, 2), "merger": (2, 1), "replicator": (1, 2),
+        "router": (1, 2), "filter": (1, 1), "transform": (1, 1),
+        "seq": (2, 0), "fifo1": (1, 1), "fifo1_full": (1, 1),
+        "fifon": (1, 1), "fifo": (1, 1),
+    }
+    assert set(shapes) == set(PRIMITIVES)
+    for name, (nt, nh) in shapes.items():
+        params = {}
+        if name == "fifon":
+            params["capacity"] = 2
+        if name == "filter":
+            params["pred"] = "true"
+        if name == "transform":
+            params["func"] = "identity"
+        a = build(name, [f"t{i}" for i in range(nt)],
+                  [f"h{i}" for i in range(nh)], **params)
+        assert a.n_states >= 1

@@ -1,0 +1,88 @@
+"""Model-based engine test (hypothesis).
+
+A FifoChain(k) connector must behave exactly like a bounded FIFO queue of
+capacity k.  We drive a random interleaving of non-blocking operations and
+check every observation against a reference ``deque`` model — state-machine
+testing of the whole stack (DSL → compiler → JIT composition → engine).
+"""
+
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro.connectors import library
+from repro.runtime.ports import mkports
+
+CAPACITY = 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["send", "recv"]), min_size=1, max_size=60))
+def test_fifochain_equals_bounded_queue(ops):
+    conn = library.connector("FifoChain", CAPACITY)
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    model: deque = deque()
+    counter = 0
+    try:
+        for op in ops:
+            if op == "send":
+                ok = outs[0].try_send(counter)
+                expect_ok = len(model) < CAPACITY
+                assert ok == expect_ok, (op, counter, list(model))
+                if ok:
+                    model.append(counter)
+                    counter += 1
+            else:
+                ok, value = ins[0].try_recv()
+                expect_ok = bool(model)
+                assert ok == expect_ok, (op, list(model))
+                if ok:
+                    assert value == model.popleft()
+    finally:
+        conn.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from(["send", "recv"]), min_size=1, max_size=40),
+       st.sampled_from(["aot", "jit"]))
+def test_fifochain_model_both_compositions(ops, composition):
+    conn = library.connector("FifoChain", 2, composition=composition)
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    model: deque = deque()
+    counter = 0
+    try:
+        for op in ops:
+            if op == "send":
+                ok = outs[0].try_send(counter)
+                assert ok == (len(model) < 2)
+                if ok:
+                    model.append(counter)
+                    counter += 1
+            else:
+                ok, value = ins[0].try_recv()
+                assert ok == bool(model)
+                if ok:
+                    assert value == model.popleft()
+    finally:
+        conn.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 2), min_size=1, max_size=30))
+def test_sequencer_model(turns):
+    """Sequencer(3) == a modulo-3 turn counter: only the current turn's
+    party can send."""
+    conn = library.connector("Sequencer", 3)
+    outs, _ = mkports(3, 0)
+    conn.connect(outs, [])
+    turn = 0
+    try:
+        for party in turns:
+            ok = outs[party].try_send("x")
+            assert ok == (party == turn)
+            if ok:
+                turn = (turn + 1) % 3
+    finally:
+        conn.close()

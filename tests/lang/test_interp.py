@@ -1,0 +1,78 @@
+"""Expression evaluation: arithmetic, booleans, environments."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.interp import Env, eval_aexpr, eval_bexpr
+from repro.util.errors import ScopeError
+
+
+def A(src: str) -> ast.AExpr:
+    """Parse an arithmetic expression via a tiny wrapper definition."""
+    from repro.lang.parser import parse
+
+    prog = parse(f"D(t[];h) = prod (i:{src}..{src}) Sync(t[1];h)")
+    return prog.defs["D"].body.lo
+
+
+def test_numbers_and_ops():
+    env = Env()
+    assert eval_aexpr(A("1+2*3"), env) == 7
+    assert eval_aexpr(A("(1+2)*3"), env) == 9
+    assert eval_aexpr(A("7/2"), env) == 3  # integer division
+    assert eval_aexpr(A("7%3"), env) == 1
+    assert eval_aexpr(A("-4+1"), env) == -3
+
+
+def test_variables_and_lengths():
+    env = Env(variables={"i": 5}, lengths={"tl": 8})
+    assert eval_aexpr(ast.Var("i"), env) == 5
+    assert eval_aexpr(ast.Len("tl"), env) == 8
+    assert eval_aexpr(ast.BinOp("-", ast.Len("tl"), ast.Var("i")), env) == 3
+
+
+def test_bind_is_persistent_functional():
+    env = Env(variables={"i": 1})
+    child = env.bind("j", 2)
+    assert eval_aexpr(ast.Var("j"), child) == 2
+    with pytest.raises(ScopeError):
+        eval_aexpr(ast.Var("j"), env)
+
+
+def test_unbound_errors():
+    with pytest.raises(ScopeError, match="unbound"):
+        eval_aexpr(ast.Var("nope"), Env())
+    with pytest.raises(ScopeError, match="length"):
+        eval_aexpr(ast.Len("nope"), Env())
+
+
+def test_division_by_zero():
+    with pytest.raises(ScopeError, match="zero"):
+        eval_aexpr(ast.BinOp("/", ast.Num(1), ast.Num(0)), Env())
+    with pytest.raises(ScopeError, match="zero"):
+        eval_aexpr(ast.BinOp("%", ast.Num(1), ast.Num(0)), Env())
+
+
+def test_comparisons():
+    env = Env()
+    for op, expect in [("==", False), ("!=", True), ("<", True),
+                       ("<=", True), (">", False), (">=", False)]:
+        assert eval_bexpr(ast.Cmp(op, ast.Num(1), ast.Num(2)), env) is expect
+
+
+def test_boolean_ops():
+    env = Env()
+    t = ast.Cmp("==", ast.Num(1), ast.Num(1))
+    f = ast.Cmp("==", ast.Num(1), ast.Num(2))
+    assert eval_bexpr(ast.BoolOp("&&", t, t), env)
+    assert not eval_bexpr(ast.BoolOp("&&", t, f), env)
+    assert eval_bexpr(ast.BoolOp("||", f, t), env)
+    assert eval_bexpr(ast.NotOp(f), env)
+
+
+def test_short_circuit():
+    """&& must not evaluate the right side when the left is false."""
+    env = Env()
+    f = ast.Cmp("==", ast.Num(1), ast.Num(2))
+    poison = ast.Cmp("==", ast.BinOp("/", ast.Num(1), ast.Num(0)), ast.Num(0))
+    assert not eval_bexpr(ast.BoolOp("&&", f, poison), env)

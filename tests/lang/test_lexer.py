@@ -1,0 +1,72 @@
+"""Tokenizer: token kinds, positions, comments, errors."""
+
+import pytest
+
+from repro.lang.lexer import Token, tokenize
+from repro.util.errors import ParseError
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_identifiers_and_keywords():
+    assert kinds("foo mult if prod") == [
+        ("ident", "foo"),
+        ("keyword", "mult"),
+        ("keyword", "if"),
+        ("keyword", "prod"),
+    ]
+
+
+def test_all_keywords():
+    for kw in ("mult", "prod", "if", "else", "main", "among", "and", "forall"):
+        assert kinds(kw) == [("keyword", kw)]
+
+
+def test_numbers():
+    assert kinds("42 007") == [("number", "42"), ("number", "007")]
+
+
+def test_two_char_operators():
+    assert [t for _, t in kinds("... == != <= >= && ||")] == [
+        "..", ".", "==", "!=", "<=", ">=", "&&", "||",
+    ]
+
+
+def test_range_vs_dots():
+    assert [t for _, t in kinds("1..3")] == ["1", "..", "3"]
+    assert [t for _, t in kinds("a.b")] == ["a", ".", "b"]
+
+
+def test_hash_length():
+    assert kinds("#tl") == [("punct", "#"), ("ident", "tl")]
+
+
+def test_comments_stripped():
+    assert kinds("a // comment here\nb") == [("ident", "a"), ("ident", "b")]
+
+
+def test_positions():
+    toks = tokenize("ab\n  cd")
+    assert (toks[0].line, toks[0].column) == (1, 1)
+    assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+def test_illegal_character():
+    with pytest.raises(ParseError, match="illegal"):
+        tokenize("a ~ b")
+
+
+def test_eof_token():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind == "eof"
+
+
+def test_underscore_identifiers():
+    assert kinds("a_b _x") == [("ident", "a_b"), ("ident", "_x")]
+
+
+def test_token_str():
+    assert str(Token("ident", "x", 1, 1)) == "'x'"
+    assert str(Token("eof", "", 1, 1)) == "end of input"

@@ -1,0 +1,65 @@
+"""Normal form (§IV.C, Ex. 10): section ordering and recursion."""
+
+from repro.lang.flatten import FIf, FList, FPrim, FProd, flatten
+from repro.lang.normalize import normalize
+from repro.lang.parser import parse
+
+
+def test_sections_ordered(fig9_source):
+    prog = parse(fig9_source)
+    nf = normalize(flatten(prog, "ConnectorEx11N"))
+    # top level of Fig. 9 is a single conditional
+    assert nf.prims == [] and nf.prods == [] and len(nf.conds) == 1
+    cond = nf.conds[0]
+    # then-branch: one primitive
+    assert len(cond.then.prims) == 1 and not cond.then.prods
+    # else-branch, Ex. 10: after normalization the Seq2 constituent is moved
+    # *before* the two iteration expressions
+    els = cond.els
+    assert len(els.prims) == 1  # Seq2(prev[1],next[#tl])
+    assert els.prims[0].ptype == "seq"
+    assert len(els.prods) == 2
+    assert not els.conds
+
+
+def test_mixed_order_reordered():
+    src = """
+D(t[];h[]) =
+  prod (i:1..#t) Fifo1(t[i];h[i])
+  mult Sync(a;b)
+  mult if (#t == 1) { Sync(c;d) }
+  mult Sync(e;f)
+"""
+    nf = normalize(flatten(parse(src), "D"))
+    assert [p.ptype for p in nf.prims] == ["sync", "sync"]
+    assert len(nf.prods) == 1
+    assert len(nf.conds) == 1
+
+
+def test_nested_normalization():
+    src = """
+D(t[];h[]) =
+  prod (i:1..#t) {
+    if (#t == 1) { Sync(t[i];h[i]) } mult Fifo1(t[i];x[i])
+  }
+"""
+    nf = normalize(flatten(parse(src), "D"))
+    inner = nf.prods[0].body
+    assert len(inner.prims) == 1 and inner.prims[0].ptype == "fifo1"
+    assert len(inner.conds) == 1
+
+
+def test_empty_branches_allowed():
+    src = "D(a;b) = Sync(a;b)"
+    nf = normalize(flatten(parse(src), "D"))
+    assert not nf.empty
+    assert len(nf.prims) == 1
+
+
+def test_str_rendering():
+    src = "D(t[];h[]) = prod (i:1..#t) Fifo1(t[i];h[i]) mult Sync(a;b)"
+    nf = normalize(flatten(parse(src), "D"))
+    s = str(nf)
+    assert "sync" in s and "prod" in s
+    # constituents rendered before iterations
+    assert s.index("sync") < s.index("prod")

@@ -1,0 +1,160 @@
+"""Parser: the paper's Figs. 8 and 9 plus grammar corner cases."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.util.errors import ParseError
+
+FIG8 = """
+ConnectorEx11a(tl1,tl2;hd1,hd2) =
+  Repl2(tl1;prev1,v1) mult Repl2(tl2;prev2,v2)
+  mult Fifo1(v1;w1) mult Fifo1(v2;w2)
+  mult Repl2(w1;next1,hd1) mult Repl2(w2;next2,hd2)
+  mult Seq2(next1,prev2;) mult Seq2(prev1,next2;)
+
+ConnectorEx11b(tl1,tl2;hd1,hd2) =
+  X(tl1;prev1,next1,hd1) mult X(tl2;prev2,next2,hd2)
+  mult Seq2(next1,prev2;) mult Seq2(prev1,next2;)
+
+X(tl;prev,next,hd) =
+  Repl2(tl;prev,v) mult Fifo1(v;w) mult Repl2(w;next,hd)
+
+main = ConnectorEx11a(aOut,bOut;cIn1,cIn2) among
+  Tasks.a(aOut) and Tasks.b(bOut) and Tasks.c(cIn1,cIn2)
+"""
+
+
+def test_fig8_parses():
+    prog = parse(FIG8)
+    assert set(prog.defs) == {"ConnectorEx11a", "ConnectorEx11b", "X"}
+    a = prog.defs["ConnectorEx11a"]
+    assert [p.name for p in a.tails] == ["tl1", "tl2"]
+    assert [p.name for p in a.heads] == ["hd1", "hd2"]
+    assert isinstance(a.body, ast.Mult)
+    assert len(a.body.items) == 8
+    assert prog.main is not None
+    assert prog.main.connector.name == "ConnectorEx11a"
+    assert len(prog.main.tasks) == 3
+    assert prog.main.tasks[0].name == "Tasks.a"
+
+
+def test_fig9_parses(fig9_source):
+    prog = parse(fig9_source)
+    d = prog.defs["ConnectorEx11N"]
+    assert d.tails[0].is_array and d.heads[0].is_array
+    assert isinstance(d.body, ast.If)
+    cond = d.body.cond
+    assert isinstance(cond, ast.Cmp) and cond.op == "=="
+    assert cond.left == ast.Len("tl")
+    els = d.body.els
+    assert isinstance(els, ast.Mult)
+    prods = [x for x in els.items if isinstance(x, ast.Prod)]
+    assert len(prods) == 2
+    # main(N) with forall
+    assert prog.main.params == ("N",)
+    assert isinstance(prog.main.tasks[0], ast.Forall)
+    assert isinstance(prog.main.connector.tails[0], ast.SliceRef)
+
+
+def test_empty_arglists():
+    prog = parse("D(a,b;) = Seq2(a,b;)")
+    inst = prog.defs["D"].body
+    assert inst.heads == ()
+
+
+def test_cparams():
+    prog = parse("F(a;b) = Filter<even>(a;b) mult FifoN<4>(b2;c)")
+    items = prog.defs["F"].body.items
+    assert items[0].cparams == ("even",)
+    assert items[1].cparams == (4,)
+
+
+def test_nested_if_else_chain():
+    src = """
+D(t[];h) =
+  if (#t == 1) { Sync(t[1];h) }
+  else { if (#t == 2) { Merg2(t[1],t[2];h) }
+  else { Sync(t[1];h) } }
+"""
+    d = parse(src).defs["D"]
+    assert isinstance(d.body, ast.If)
+    assert isinstance(d.body.els, ast.If)
+
+
+def test_else_if_without_braces():
+    src = """
+D(t[];h) =
+  if (#t == 1) { Sync(t[1];h) }
+  else if (#t == 2) { Merg2(t[1],t[2];h) }
+"""
+    d = parse(src).defs["D"]
+    assert isinstance(d.body.els, ast.If)
+    assert d.body.els.els is None
+
+
+def test_arithmetic_precedence():
+    src = "D(t[];h) = prod (i:1..#t*2+1) Sync(t[i];h)"
+    d = parse(src).defs["D"]
+    hi = d.body.hi
+    # #t*2+1 parses as ((#t*2)+1)
+    assert isinstance(hi, ast.BinOp) and hi.op == "+"
+    assert isinstance(hi.left, ast.BinOp) and hi.left.op == "*"
+
+
+def test_boolean_precedence():
+    src = "D(t[];h) = if (#t == 1 || #t == 2 && #t != 3) { Sync(t[1];h) }"
+    cond = parse(src).defs["D"].body.cond
+    assert isinstance(cond, ast.BoolOp) and cond.op == "||"
+    assert isinstance(cond.right, ast.BoolOp) and cond.right.op == "&&"
+
+
+def test_parenthesized_boolean():
+    src = "D(t[];h) = if ((#t == 1 || #t == 2) && !(#t == 3)) { Sync(t[1];h) }"
+    cond = parse(src).defs["D"].body.cond
+    assert isinstance(cond, ast.BoolOp) and cond.op == "&&"
+    assert isinstance(cond.right, ast.NotOp)
+
+
+def test_unary_minus():
+    src = "D(t[];h) = prod (i:-1..1) Sync(t[i+2];h)"
+    d = parse(src).defs["D"]
+    assert isinstance(d.body.lo, ast.Neg)
+
+
+def test_braced_prod_body():
+    src = "D(t[];h[]) = prod (i:1..#t) { Sync(t[i];h[i]) }"
+    d = parse(src).defs["D"]
+    assert isinstance(d.body, ast.Prod)
+
+
+def test_duplicate_definition_rejected():
+    with pytest.raises(ParseError, match="duplicate"):
+        parse("D(a;b) = Sync(a;b)\nD(a;b) = Sync(a;b)")
+
+
+def test_duplicate_main_rejected():
+    with pytest.raises(ParseError, match="duplicate main"):
+        parse("main = X(a;b)\nmain = X(a;b)")
+
+
+def test_missing_semicolon_in_signature():
+    with pytest.raises(ParseError):
+        parse("D(a,b) = Sync(a;b)")
+
+
+def test_error_position_reported():
+    try:
+        parse("D(a;b) = Sync(a;b) mult")
+    except ParseError as e:
+        assert e.line >= 1
+    else:
+        pytest.fail("expected ParseError")
+
+
+def test_ast_str_roundtrips_through_parser():
+    """str(ast) must itself be parseable (pretty-printing sanity)."""
+    prog = parse(FIG8)
+    reparsed = parse(str(prog))
+    assert set(reparsed.defs) == set(prog.defs)
+    assert str(reparsed) == str(prog)

@@ -1,0 +1,118 @@
+"""Property-based parser tests: generated programs pretty-print and reparse
+to the same AST (print/parse is a retraction)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse
+
+idents = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in ("mult", "prod", "if", "else", "main", "among", "and",
+                        "forall")
+)
+
+
+@st.composite
+def aexprs(draw, depth=2):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.builds(ast.Num, st.integers(0, 99)),
+                st.builds(ast.Var, st.just("i")),
+                st.builds(ast.Len, st.just("t")),
+            )
+        )
+    return draw(
+        st.one_of(
+            aexprs(depth=0),
+            st.builds(
+                ast.BinOp,
+                st.sampled_from(["+", "-", "*", "/", "%"]),
+                aexprs(depth=depth - 1),
+                aexprs(depth=depth - 1),
+            ),
+            st.builds(ast.Neg, aexprs(depth=depth - 1)),
+        )
+    )
+
+
+@st.composite
+def bexprs(draw, depth=2):
+    cmp = st.builds(
+        ast.Cmp,
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        aexprs(1),
+        aexprs(1),
+    )
+    if depth == 0:
+        return draw(cmp)
+    return draw(
+        st.one_of(
+            cmp,
+            st.builds(
+                ast.BoolOp,
+                st.sampled_from(["&&", "||"]),
+                bexprs(depth=depth - 1),
+                bexprs(depth=depth - 1),
+            ),
+            st.builds(ast.NotOp, bexprs(depth=depth - 1)),
+        )
+    )
+
+
+@st.composite
+def exprs(draw, depth=2):
+    inst = st.builds(
+        lambda t, h: ast.Instance(
+            "Sync", (ast.Ref(t, ast.Var("i")),), (ast.Ref(h),)
+        ),
+        st.just("t"),
+        idents,
+    )
+    if depth == 0:
+        return draw(inst)
+    return draw(
+        st.one_of(
+            inst,
+            st.builds(
+                lambda c, th, el: ast.If(c, th, el),
+                bexprs(1),
+                exprs(depth=depth - 1),
+                st.one_of(st.none(), exprs(depth=depth - 1)),
+            ),
+            st.builds(
+                lambda lo, hi, b: ast.Prod("i", lo, hi, b),
+                aexprs(1),
+                aexprs(1),
+                exprs(depth=depth - 1),
+            ),
+            st.builds(
+                lambda items: ast.Mult(tuple(items)),
+                st.lists(exprs(depth=depth - 1), min_size=2, max_size=3),
+            ),
+        )
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(exprs())
+def test_print_parse_retraction(body):
+    d = ast.ConnectorDef("D", (ast.Param("t", True),), (ast.Param("h"),), body)
+    src = str(d)
+    prog = parse(src)
+    # printing the reparsed program reproduces the same text (fixpoint)
+    assert str(prog.defs["D"]) == src
+
+
+@settings(max_examples=60, deadline=None)
+@given(aexprs(depth=3))
+def test_aexpr_print_parse_fixpoint(e):
+    d = ast.ConnectorDef(
+        "D",
+        (ast.Param("t", True),),
+        (ast.Param("h"),),
+        ast.Prod("i", e, e, ast.Instance("Sync", (ast.Ref("t", ast.Var("i")),),
+                                         (ast.Ref("h"),))),
+    )
+    src = str(d)
+    assert str(parse(src).defs["D"]) == src

@@ -1,0 +1,70 @@
+"""Front-end robustness: malformed input fails with ParseError/ScopeError/
+WellFormednessError — never with an internal exception.
+
+The fuzz test feeds arbitrary token soup to the full front-end (parse +
+flatten per definition); any non-`ReproError` escape is a bug.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.lang.flatten import flatten
+from repro.lang.parser import parse
+from repro.util.errors import ParseError, ReproError
+
+TOKENS = [
+    "mult", "prod", "if", "else", "main", "among", "and", "forall",
+    "(", ")", "[", "]", "{", "}", ";", ",", "..", "#", "<", ">", "=",
+    "==", "!=", "&&", "||", "!", "+", "-", "*", "/", "%", ":", ".",
+    "Sync", "Fifo1", "Repl2", "Seq2", "X", "a", "b", "t", "i", "1", "2", "42",
+]
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(st.sampled_from(TOKENS), max_size=25))
+def test_parser_never_crashes(tokens):
+    source = " ".join(tokens)
+    try:
+        program = parse(source)
+        for name in program.defs:
+            flatten(program, name)
+    except ReproError:
+        pass  # rejection is the expected outcome for garbage
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=60))
+def test_lexer_never_crashes(text):
+    try:
+        parse(text)
+    except ReproError:
+        pass
+
+
+# --- targeted diagnostics quality -----------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source,needle",
+    [
+        ("D(a;b = Sync(a;b)", "expected"),
+        ("D(a;b) = ", "constituent"),
+        ("D(a;b) = Sync(a;b) mult", "constituent"),
+        ("D(a;b) = prod (i:1..) Sync(a;b)", "arithmetic"),
+        ("D(a;b) = if (1) { Sync(a;b) }", "comparison"),
+        ("main = X(a;b)\nD(a;b) = Sync(a;b)\nmain = X(a;b)", "duplicate main"),
+    ],
+)
+def test_error_messages_name_the_problem(source, needle):
+    with pytest.raises(ParseError, match=needle):
+        parse(source)
+
+
+def test_errors_carry_positions():
+    try:
+        parse("D(a;b) =\n  Sync(a;b) mult @")
+    except ParseError as e:
+        assert e.line == 2
+    else:
+        pytest.fail("expected ParseError")

@@ -1,0 +1,39 @@
+"""NPB EP: gaussian-pair statistics and exact variant equality."""
+
+import numpy as np
+import pytest
+
+from repro.npb import ep
+
+
+def test_serial_statistics_sane():
+    sx, sy, counts = ep.run_serial("S").value
+    total_pairs = sum(counts)
+    assert total_pairs > 0
+    # acceptance rate of the polar method is pi/4 ~ 0.785
+    assert abs(total_pairs / (1 << ep.CLASSES["S"]["m"]) - np.pi / 4) < 0.01
+    # gaussian sums are near zero relative to the count
+    assert abs(sx) < 5 * np.sqrt(total_pairs)
+    assert abs(sy) < 5 * np.sqrt(total_pairs)
+    # annulus counts strictly decreasing after the first few
+    assert counts[0] > counts[3] > counts[6]
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 5])
+def test_original_bitwise_equal(nprocs):
+    r = ep.run_original("S", nprocs)
+    assert r.verified
+    assert r.value == ep.oracle("S")  # exact, not just within tolerance
+
+
+@pytest.mark.parametrize("nprocs", [2, 4])
+def test_reo_bitwise_equal(nprocs):
+    r = ep.run_reo("S", nprocs)
+    assert r.verified
+
+
+def test_batches_partition_evenly():
+    for nprocs in (1, 2, 3, 7):
+        batches = [ep._batches_for(r, nprocs) for r in range(nprocs)]
+        flat = sorted(b for bs in batches for b in bs)
+        assert flat == list(range(ep.N_BATCHES))

@@ -1,0 +1,68 @@
+"""NPB IS: ranking correctness and parallel equality."""
+
+import numpy as np
+import pytest
+
+from repro.npb import is_
+
+
+def test_keys_deterministic_and_in_range():
+    k = is_.make_keys("S")
+    assert k.min() >= 0
+    assert k.max() < is_.CLASSES["S"]["bmax"]
+    assert np.array_equal(k, is_.make_keys("S"))
+
+
+def test_rank_block_is_sorting_permutation():
+    keys = is_.make_keys("S")
+    hist = np.bincount(keys, minlength=is_.CLASSES["S"]["bmax"])
+    offsets = np.concatenate(([0], np.cumsum(hist)[:-1]))
+    ranks = is_._rank_block(keys, offsets)
+    # ranks are a permutation of 0..n-1
+    assert sorted(ranks) == list(range(len(keys)))
+    # and placing keys at their ranks sorts them
+    placed = np.empty_like(keys)
+    placed[ranks] = keys
+    assert np.array_equal(placed, np.sort(keys))
+
+
+def test_rank_block_stable_for_equal_keys():
+    keys = np.array([5, 3, 5, 3, 5], dtype=np.int64)
+    # buckets: 3 -> offset 0 (count 2), 5 -> offset 2 (count 3)
+    offs = np.zeros(8, dtype=np.int64)
+    offs[3] = 0
+    offs[5] = 2
+    ranks = is_._rank_block(keys, offs)
+    assert list(ranks) == [2, 0, 3, 1, 4]
+
+
+def test_block_checksums_sum_to_global():
+    keys = is_.make_keys("S")
+    hist = np.bincount(keys, minlength=is_.CLASSES["S"]["bmax"])
+    offsets = np.concatenate(([0], np.cumsum(hist)[:-1]))
+    whole = is_._checksum(is_._rank_block(keys, offsets), 0)
+    # split in two blocks, with block-adjusted offsets
+    mid = len(keys) // 2
+    h1 = np.bincount(keys[:mid], minlength=is_.CLASSES["S"]["bmax"])
+    r1 = is_._rank_block(keys[:mid], offsets.copy())
+    r2 = is_._rank_block(keys[mid:], offsets + h1)
+    assert is_._checksum(r1, 0) + is_._checksum(r2, mid) == whole
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4])
+def test_original_equals_serial(nprocs):
+    assert is_.run_original("S", nprocs).verified
+
+
+@pytest.mark.parametrize("nprocs", [2, 4])
+def test_reo_equals_serial(nprocs):
+    assert is_.run_reo("S", nprocs).verified
+
+
+def test_inbox_reorders_kinds():
+    msgs = [(0, "hist", 1), (1, "checksum", 2), (1, "hist", 3)]
+    it = iter(msgs)
+    inbox = is_._Inbox(lambda: next(it))
+    assert inbox.expect("hist") == (0, "hist", 1)
+    assert inbox.expect("hist") == (1, "hist", 3)  # skipped the checksum
+    assert inbox.expect("checksum") == (1, "checksum", 2)  # from pending

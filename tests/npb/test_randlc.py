@@ -1,0 +1,84 @@
+"""The NPB generator: exact LCG semantics, vectorization, substreams."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.npb.randlc import (
+    A_DEFAULT,
+    MOD,
+    Randlc,
+    SEED_DEFAULT,
+    lcg_advance,
+    randlc_stream,
+)
+
+
+def reference_sequence(n, seed=SEED_DEFAULT, a=A_DEFAULT):
+    """Exact big-int reference."""
+    out = []
+    x = seed
+    for _ in range(n):
+        x = (a * x) % MOD
+        out.append(x / MOD)
+    return out
+
+
+def test_scalar_matches_reference():
+    r = Randlc()
+    assert [r.next() for _ in range(50)] == reference_sequence(50)
+
+
+def test_vectorized_matches_scalar():
+    n = 10_000  # spans multiple internal blocks
+    stream = randlc_stream(n)
+    ref = reference_sequence(n)
+    assert np.allclose(stream, ref, rtol=0, atol=0)
+
+
+def test_stream_deterministic():
+    assert np.array_equal(randlc_stream(1000), randlc_stream(1000))
+
+
+def test_values_in_unit_interval():
+    s = randlc_stream(100_000)
+    assert (s > 0).all() and (s < 1).all()
+
+
+def test_lcg_advance_matches_iteration():
+    x = SEED_DEFAULT
+    for _ in range(137):
+        x = (A_DEFAULT * x) % MOD
+    assert lcg_advance(SEED_DEFAULT, 137) == x
+
+
+def test_skip():
+    r1 = Randlc()
+    for _ in range(100):
+        r1.next()
+    r2 = Randlc().skip(100)
+    assert r1.next() == r2.next()
+
+
+def test_substreams_tile_the_stream():
+    """Advancing the seed by k must equal skipping k values — the property
+    NPB task decomposition relies on."""
+    whole = randlc_stream(300)
+    part = randlc_stream(100, seed=lcg_advance(SEED_DEFAULT, 200))
+    assert np.array_equal(whole[200:], part)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 500), st.integers(1, 200))
+def test_stream_suffix_property(offset, n):
+    whole = randlc_stream(offset + n)
+    sub = randlc_stream(n, seed=lcg_advance(SEED_DEFAULT, offset))
+    assert np.array_equal(whole[offset:], sub)
+
+
+def test_empty_stream():
+    assert randlc_stream(0).shape == (0,)
+
+
+def test_mean_approximately_half():
+    s = randlc_stream(200_000)
+    assert abs(s.mean() - 0.5) < 0.01

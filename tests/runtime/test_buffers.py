@@ -1,0 +1,70 @@
+"""Buffer store: capacities, FIFO order, redeclaration rules."""
+
+import pytest
+
+from repro.automata.automaton import BufferSpec
+from repro.runtime.buffers import BufferStore
+from repro.util.errors import RuntimeProtocolError
+
+
+def test_fifo_order():
+    s = BufferStore([BufferSpec("q", capacity=3)])
+    for v in "abc":
+        s.push("q", v)
+    assert [s.pop("q") for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_bounded_capacity():
+    s = BufferStore([BufferSpec("q", capacity=2)])
+    s.push("q", 1)
+    assert not s.full("q")
+    s.push("q", 2)
+    assert s.full("q")
+
+
+def test_unbounded():
+    s = BufferStore([BufferSpec("q", capacity=None)])
+    for i in range(1000):
+        s.push("q", i)
+    assert not s.full("q")
+    assert s.occupancy("q") == 1000
+
+
+def test_initial_contents():
+    s = BufferStore([BufferSpec("q", capacity=1, initial=("tok",))])
+    assert s.full("q")
+    assert s.peek("q") == "tok"
+
+
+def test_initial_exceeds_capacity():
+    with pytest.raises(RuntimeProtocolError):
+        BufferStore([BufferSpec("q", capacity=1, initial=(1, 2))])
+
+
+def test_redeclare_same_capacity_ok():
+    s = BufferStore()
+    s.declare(BufferSpec("q", capacity=2))
+    s.declare(BufferSpec("q", capacity=2))
+    assert s.names() == ("q",)
+
+
+def test_redeclare_conflicting_capacity():
+    s = BufferStore([BufferSpec("q", capacity=2)])
+    with pytest.raises(RuntimeProtocolError):
+        s.declare(BufferSpec("q", capacity=3))
+
+
+def test_snapshot_immutable_view():
+    s = BufferStore([BufferSpec("q", capacity=2)])
+    s.push("q", 1)
+    snap = s.snapshot()
+    assert snap == {"q": (1,)}
+    s.push("q", 2)
+    assert snap == {"q": (1,)}
+
+
+def test_empty_predicate():
+    s = BufferStore([BufferSpec("q")])
+    assert s.empty("q")
+    s.push("q", 0)
+    assert not s.empty("q")

@@ -1,0 +1,75 @@
+"""RuntimeConnector: composition strategies, partitioning, caches."""
+
+import pytest
+
+from repro.automata.lazy import LRUCache
+from repro.compiler import compile_source
+from repro.connectors import library
+from repro.runtime.ports import mkports
+from repro.util.errors import CompilationBudgetExceeded
+
+from tests.conftest import pump
+
+
+CHAIN = "P(a;b) = Fifo1(a;v) mult Fifo1(v;w) mult Fifo1(w;b)"
+
+
+def test_jit_vs_aot_same_behaviour():
+    prog = compile_source(CHAIN)
+    for composition in ("jit", "aot"):
+        conn = prog.instantiate_connector("P", composition=composition)
+        got = pump(conn, {0: [1, 2, 3]}, {0: 3})
+        assert got[0] == [1, 2, 3]
+
+
+def test_invalid_composition_rejected():
+    prog = compile_source(CHAIN)
+    with pytest.raises(ValueError):
+        prog.instantiate_connector("P", composition="eager")
+
+
+def test_aot_respects_state_budget():
+    conn = library.connector(
+        "EarlyAsyncMerger", 8, composition="aot", state_budget=10
+    )
+    outs, ins = mkports(8, 1)
+    with pytest.raises(CompilationBudgetExceeded):
+        conn.connect(outs, ins)
+
+
+def test_partitioning_regions():
+    prog = compile_source(CHAIN)
+    conn = prog.instantiate_connector("P", use_partitioning=True)
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    assert conn.stats()["regions"] == 4  # writer | r+w | r+w | reader
+    outs[0].send(1)
+    assert ins[0].recv() == 1
+    conn.close()
+
+
+def test_partitioning_same_behaviour_as_monolithic():
+    for options in ({}, {"use_partitioning": True}):
+        conn = library.connector("SequencedMerger", 3, **options)
+        got = pump(
+            conn,
+            {0: ["a0", "a1"], 1: ["b0", "b1"], 2: ["c0", "c1"]},
+            {0: 2, 1: 2, 2: 2},
+        )
+        assert got == {0: ["a0", "a1"], 1: ["b0", "b1"], 2: ["c0", "c1"]}
+
+
+def test_bounded_cache_connector_still_correct():
+    conn = library.connector(
+        "FifoChain", 4, cache_factory=lambda: LRUCache(2)
+    )
+    got = pump(conn, {0: list(range(20))}, {0: 20})
+    assert got[0] == list(range(20))
+    # with only 2 cached expansions over >4 visited states, evictions happened
+    conn.close()
+
+
+def test_steps_property_before_connect():
+    conn = compile_source(CHAIN).instantiate_connector("P")
+    assert conn.steps == 0
+    assert conn.stats() == {}

@@ -1,0 +1,155 @@
+"""Failure injection: closing mid-protocol, deadlock detection, misuse."""
+
+import time
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.connectors import library
+from repro.runtime.ports import mkports
+from repro.runtime.tasks import spawn
+from repro.util.errors import DeadlockError, PortClosedError
+
+
+def test_close_connector_fails_all_blocked_parties():
+    conn = library.connector("Barrier", 2)
+    outs, ins = mkports(2, 2)
+    conn.connect(outs, ins)
+
+    def blocked_send():
+        with pytest.raises(PortClosedError):
+            outs[0].send("x")
+        return True
+
+    def blocked_recv():
+        with pytest.raises(PortClosedError):
+            ins[1].recv()
+        return True
+
+    h1, h2 = spawn(blocked_send), spawn(blocked_recv)
+    time.sleep(0.05)
+    conn.close()
+    assert h1.join(5) and h2.join(5)
+
+
+def test_close_single_vertex_blocks_only_that_port():
+    conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector("P")
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    outs[0].send(1)
+    outs[0].close()
+    with pytest.raises(PortClosedError):
+        outs[0].send(2)
+    # the buffered message is still deliverable
+    assert ins[0].recv() == 1
+    conn.close()
+
+
+def test_send_after_connector_close():
+    conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector("P")
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    conn.close()
+    with pytest.raises(PortClosedError):
+        outs[0].send(1)
+
+
+def test_deadlock_detection_two_receivers():
+    """Two parties both receiving on an empty fifo = deadlock (when the
+    engine knows how many parties there are)."""
+    conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector(
+        "P", expected_parties=2
+    )
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+
+    def recv_expect_deadlock():
+        with pytest.raises(DeadlockError):
+            ins[0].recv()
+        return True
+
+    def second_recv_expect_deadlock():
+        # fifo1 is empty and the only other party also receives -> stuck
+        with pytest.raises(DeadlockError):
+            ins[0].recv()
+        return True
+
+    h1 = spawn(recv_expect_deadlock)
+    time.sleep(0.02)
+    h2 = spawn(second_recv_expect_deadlock)
+    assert h1.join(10) and h2.join(10)
+    conn.close()
+
+
+def test_no_false_deadlock_when_progress_possible():
+    conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector(
+        "P", expected_parties=2
+    )
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+
+    def producer():
+        for i in range(50):
+            outs[0].send(i)
+
+    def consumer():
+        return [ins[0].recv() for _ in range(50)]
+
+    h1, h2 = spawn(producer), spawn(consumer)
+    h1.join(10)
+    assert h2.join(10) == list(range(50))
+    conn.close()
+
+
+def test_deadlock_in_barrier_wrong_usage():
+    """A Barrier(2) where only one pair participates deadlocks."""
+    conn = library.connector("Barrier", 2, expected_parties=2)
+    outs, ins = mkports(2, 2)
+    conn.connect(outs, ins)
+
+    def send_only():
+        with pytest.raises(DeadlockError):
+            outs[0].send("x")
+        return True
+
+    def recv_only():
+        with pytest.raises(DeadlockError):
+            ins[0].recv()
+        return True
+
+    h1 = spawn(send_only)
+    h2 = spawn(recv_only)
+    assert h1.join(10) and h2.join(10)
+    conn.close()
+
+
+def test_connector_context_manager():
+    with compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector("P") as conn:
+        outs, ins = mkports(1, 1)
+        conn.connect(outs, ins)
+        outs[0].send(1)
+        assert ins[0].recv() == 1
+    with pytest.raises(PortClosedError):
+        outs[0].send(2)
+
+
+def test_double_connect_rejected():
+    from repro.util.errors import RuntimeProtocolError
+
+    conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector("P")
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    with pytest.raises(RuntimeProtocolError, match="already connected"):
+        conn.connect(*mkports(1, 1))
+    conn.close()
+
+
+def test_signature_overlap_rejected():
+    from repro.runtime.connector import RuntimeConnector
+    from repro.connectors.primitives import build_automaton
+    from repro.connectors.graph import Arc
+    from repro.util.errors import RuntimeProtocolError
+
+    auto = build_automaton(Arc("sync", ("x",), ("y",)), "q")
+    with pytest.raises(RuntimeProtocolError, match="both sides"):
+        RuntimeConnector([auto], ["x"], ["x"])

@@ -1,0 +1,118 @@
+"""Ports: binding discipline, closing, non-blocking variants."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.runtime.ports import Inport, Outport, mkports
+from repro.util.errors import PortClosedError, RuntimeProtocolError
+
+
+def pipe_connector():
+    return compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector("P")
+
+
+def test_unbound_port_rejects_ops():
+    out = Outport("o")
+    with pytest.raises(RuntimeProtocolError, match="not connected"):
+        out.send(1)
+    inp = Inport("i")
+    with pytest.raises(RuntimeProtocolError, match="not connected"):
+        inp.recv()
+
+
+def test_double_bind_rejected():
+    conn1, conn2 = pipe_connector(), pipe_connector()
+    outs, ins = mkports(1, 1)
+    conn1.connect(outs, ins)
+    outs2, ins2 = mkports(1, 1)
+    with pytest.raises(RuntimeProtocolError, match="already connected"):
+        conn2.connect(outs, ins2)
+    conn1.close()
+
+
+def test_send_recv_through_fifo():
+    conn = pipe_connector()
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    outs[0].send("v")
+    assert ins[0].recv() == "v"
+    conn.close()
+
+
+def test_try_send_respects_capacity():
+    conn = pipe_connector()
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    assert outs[0].try_send(1)
+    assert not outs[0].try_send(2)  # fifo1 full
+    assert ins[0].recv() == 1
+    assert outs[0].try_send(2)
+    conn.close()
+
+
+def test_try_recv():
+    conn = pipe_connector()
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    ok, v = ins[0].try_recv()
+    assert not ok and v is None
+    outs[0].send(9)
+    ok, v = ins[0].try_recv()
+    assert ok and v == 9
+    conn.close()
+
+
+def test_closed_port_raises():
+    conn = pipe_connector()
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    outs[0].close()
+    with pytest.raises(PortClosedError):
+        outs[0].send(1)
+    conn.close()
+
+
+def test_close_unblocks_peer():
+    conn = pipe_connector()
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    from repro.runtime.tasks import spawn
+
+    def blocked_recv():
+        with pytest.raises(PortClosedError):
+            ins[0].recv()
+        return "unblocked"
+
+    h = spawn(blocked_recv)
+    import time
+
+    time.sleep(0.05)
+    ins[0].close()
+    assert h.join(5) == "unblocked"
+    conn.close()
+
+
+def test_close_idempotent():
+    out = Outport()
+    out.close()
+    out.close()
+    assert out.closed
+
+
+def test_context_manager_closes():
+    with Outport("o") as out:
+        pass
+    assert out.closed
+
+
+def test_mkports_naming():
+    outs, ins = mkports(2, 1, prefix="x")
+    assert [p.name for p in outs] == ["xout0", "xout1"]
+    assert ins[0].name == "xin0"
+
+
+def test_connect_arity_mismatch():
+    conn = pipe_connector()
+    outs, ins = mkports(2, 1)
+    with pytest.raises(RuntimeProtocolError, match="expects 1 outports"):
+        conn.connect(outs, ins)

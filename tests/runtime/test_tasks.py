@@ -1,0 +1,79 @@
+"""Task helpers: spawning, joining, error propagation."""
+
+import time
+
+import pytest
+
+from repro.runtime.tasks import TaskGroup, TaskHandle, join_all, spawn
+
+
+def test_spawn_returns_result():
+    assert spawn(lambda: 41 + 1).join(5) == 42
+
+
+def test_spawn_propagates_exception():
+    def boom():
+        raise RuntimeError("inside task")
+
+    h = spawn(boom)
+    with pytest.raises(RuntimeError, match="inside task"):
+        h.join(5)
+
+
+def test_join_timeout():
+    h = spawn(time.sleep, 5)
+    with pytest.raises(TimeoutError):
+        h.join(0.05)
+
+
+def test_taskgroup_joins_all():
+    with TaskGroup() as g:
+        hs = [g.spawn(lambda i=i: i * i) for i in range(5)]
+    assert [h.result for h in hs] == [0, 1, 4, 9, 16]
+
+
+def test_taskgroup_raises_first_error_after_joining_all():
+    finished = []
+
+    def ok(i):
+        finished.append(i)
+        return i
+
+    def bad():
+        raise ValueError("nope")
+
+    with pytest.raises(ValueError, match="nope"):
+        with TaskGroup() as g:
+            g.spawn(bad)
+            g.spawn(ok, 1)
+            g.spawn(ok, 2)
+    assert sorted(finished) == [1, 2]  # all were still joined
+
+
+def test_taskgroup_does_not_join_on_exception_in_body():
+    """If the with-body itself raises, join_all must not mask it."""
+    with pytest.raises(KeyError):
+        with TaskGroup() as g:
+            g.spawn(lambda: time.sleep(0.01))
+            raise KeyError("body error")
+
+
+def test_join_all_helper():
+    hs = [spawn(lambda i=i: i) for i in range(3)]
+    assert join_all(hs, timeout=5) == [0, 1, 2]
+
+
+def test_alive_flag():
+    h = spawn(time.sleep, 0.2)
+    assert h.alive
+    h.join(5)
+    assert not h.alive
+
+
+def test_spawn_kwargs_and_name():
+    def fn(a, b=0):
+        return a + b
+
+    h = spawn(fn, 1, b=2, name="adder")
+    assert h.name == "adder"
+    assert h.join(5) == 3

@@ -1,0 +1,35 @@
+"""Error taxonomy: hierarchy and diagnostics payloads."""
+
+import pytest
+
+from repro.util import errors as E
+
+
+def test_hierarchy():
+    assert issubclass(E.ParseError, E.ReproError)
+    assert issubclass(E.CompilationBudgetExceeded, E.CompilationError)
+    assert issubclass(E.DeadlockError, E.RuntimeProtocolError)
+    assert issubclass(E.PortClosedError, E.RuntimeProtocolError)
+    assert issubclass(E.RuntimeProtocolError, E.ReproError)
+
+
+def test_parse_error_position():
+    err = E.ParseError("bad token", line=3, column=7)
+    assert err.line == 3 and err.column == 7
+    assert "3:7" in str(err)
+
+
+def test_parse_error_without_position():
+    assert str(E.ParseError("oops")) == "oops"
+
+
+def test_budget_exceeded_payload():
+    err = E.CompilationBudgetExceeded(budget=100, reached=101)
+    assert err.budget == 100
+    assert err.reached == 101
+    assert "101" in str(err)
+
+
+def test_catch_all_library_errors():
+    with pytest.raises(E.ReproError):
+        raise E.DeadlockError("stuck")

@@ -1,0 +1,35 @@
+"""Fresh-name generation: determinism and uniqueness."""
+
+from repro.util.naming import FreshNames, qualify
+
+
+def test_fresh_unique_per_base():
+    f = FreshNames()
+    names = [f.fresh("x") for _ in range(5)]
+    assert len(set(names)) == 5
+    assert names[0] == "x$0"
+
+
+def test_fresh_independent_bases():
+    f = FreshNames()
+    assert f.fresh("a") == "a$0"
+    assert f.fresh("b") == "b$0"
+    assert f.fresh("a") == "a$1"
+
+
+def test_fresh_deterministic_across_instances():
+    a, b = FreshNames(), FreshNames()
+    seq = ["x", "y", "x", "z"]
+    assert [a.fresh(s) for s in seq] == [b.fresh(s) for s in seq]
+
+
+def test_reset():
+    f = FreshNames()
+    f.fresh("x")
+    f.reset()
+    assert f.fresh("x") == "x$0"
+
+
+def test_qualify():
+    assert qualify("scope", "v") == "scope$v"
+    assert qualify("", "v") == "v"

@@ -1,0 +1,52 @@
+"""Stopwatch and throughput meter."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Stopwatch, ThroughputMeter
+
+
+def test_stopwatch_measures_elapsed():
+    sw = Stopwatch().start()
+    time.sleep(0.02)
+    elapsed = sw.stop()
+    assert elapsed >= 0.015
+
+
+def test_stopwatch_accumulates_laps():
+    sw = Stopwatch()
+    for _ in range(2):
+        sw.start()
+        time.sleep(0.01)
+        sw.stop()
+    assert sw.elapsed >= 0.015
+
+
+def test_stopwatch_context_manager():
+    with Stopwatch() as sw:
+        time.sleep(0.01)
+    assert sw.elapsed >= 0.005
+
+
+def test_stopwatch_stop_without_start():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
+
+
+def test_throughput_meter_counts():
+    m = ThroughputMeter(window_s=10.0)
+    for _ in range(100):
+        m.tick()
+    assert m.count == 100
+    assert not m.deadline_reached()
+    assert m.rate > 0
+
+
+def test_throughput_meter_deadline():
+    m = ThroughputMeter(window_s=0.01, check_every=1)
+    time.sleep(0.03)
+    m.tick()
+    assert m.deadline_reached()
+    # stays expired
+    assert m.deadline_reached()

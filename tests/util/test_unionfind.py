@@ -1,0 +1,66 @@
+"""Union-find: basic operations and partition invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.unionfind import UnionFind
+
+
+def test_singletons():
+    uf = UnionFind(["a", "b"])
+    assert uf.find("a") == "a"
+    assert not uf.same("a", "b")
+
+
+def test_union_and_find():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("b", "c")
+    assert uf.same("a", "c")
+    assert not uf.same("a", "d")  # auto-added singleton
+
+
+def test_find_adds_element():
+    uf = UnionFind()
+    assert uf.find(42) == 42
+    assert 42 in uf
+
+
+def test_groups_partition():
+    uf = UnionFind(range(6))
+    uf.union(0, 1)
+    uf.union(2, 3)
+    uf.union(3, 4)
+    groups = sorted(sorted(g) for g in uf.groups())
+    assert groups == [[0, 1], [2, 3, 4], [5]]
+
+
+def test_union_idempotent():
+    uf = UnionFind()
+    uf.union("x", "y")
+    uf.union("x", "y")
+    uf.union("y", "x")
+    assert sum(1 for _ in uf.groups()) == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+def test_transitive_closure_matches_reference(pairs):
+    """Union-find equivalence == reachability in the undirected pair graph."""
+    uf = UnionFind(range(21))
+    adj = {i: {i} for i in range(21)}
+    for a, b in pairs:
+        uf.union(a, b)
+    # reference: floyd-warshall-ish closure over sets
+    changed = True
+    for a, b in pairs:
+        adj[a].add(b)
+        adj[b].add(a)
+    while changed:
+        changed = False
+        for i in range(21):
+            for j in list(adj[i]):
+                if not adj[j] <= adj[i]:
+                    adj[i] |= adj[j]
+                    changed = True
+    for i in range(21):
+        for j in range(21):
+            assert uf.same(i, j) == (j in adj[i])
