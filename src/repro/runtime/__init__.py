@@ -17,9 +17,10 @@ from repro.runtime.buffers import BufferStore
 from repro.runtime.ports import Inport, Outport, mkports
 from repro.runtime.engine import CoordinatorEngine
 from repro.runtime.connector import Connector, RuntimeConnector
-from repro.runtime.tasks import TaskGroup, TaskHandle, spawn
+from repro.runtime.tasks import SupervisedTaskGroup, TaskGroup, TaskHandle, spawn
 from repro.runtime.trace import TraceEvent, TraceRecorder
 from repro.runtime.channels import Channel, ChannelInport, ChannelOutport
+from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFault
 
 __all__ = [
     "BufferStore",
@@ -29,6 +30,7 @@ __all__ = [
     "CoordinatorEngine",
     "Connector",
     "RuntimeConnector",
+    "SupervisedTaskGroup",
     "TaskGroup",
     "TaskHandle",
     "spawn",
@@ -37,4 +39,7 @@ __all__ = [
     "Channel",
     "ChannelInport",
     "ChannelOutport",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
 ]

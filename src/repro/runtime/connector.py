@@ -16,7 +16,12 @@ linked to outports/inports), and execution options:
   default; pass e.g. ``lambda: LRUCache(1024)`` for the bounded-cache
   extension);
 * ``tracer`` — a :class:`repro.runtime.trace.TraceRecorder` receiving every
-  fired step (the animation-engine analogue).
+  fired step (the animation-engine analogue);
+* ``default_timeout`` — default bound (seconds) on every blocking send/recv
+  through this connector (:class:`~repro.util.errors.ProtocolTimeoutError`
+  on expiry); per-call ``timeout=`` arguments override it;
+* ``detection_grace`` — confirmation window for registration-based deadlock
+  detection (see :class:`repro.runtime.engine.CoordinatorEngine`).
 """
 
 from __future__ import annotations
@@ -59,6 +64,8 @@ class RuntimeConnector(Connector):
         state_budget: int | None = None,
         expected_parties: int | None = None,
         tracer=None,
+        default_timeout: float | None = None,
+        detection_grace: float = 0.05,
         name: str = "",
     ):
         if composition not in ("jit", "aot"):
@@ -74,6 +81,8 @@ class RuntimeConnector(Connector):
         self.state_budget = state_budget
         self.expected_parties = expected_parties
         self.tracer = tracer
+        self.default_timeout = default_timeout
+        self.detection_grace = detection_grace
         self.name = name
         self.engine: CoordinatorEngine | None = None
 
@@ -141,6 +150,8 @@ class RuntimeConnector(Connector):
             registry=self.registry,
             expected_parties=self.expected_parties,
             tracer=self.tracer,
+            default_timeout=self.default_timeout,
+            detection_grace=self.detection_grace,
         )
         if self.composition == "aot":
             # The existing approach compiles every transition's firing plan

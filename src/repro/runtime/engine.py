@@ -22,11 +22,24 @@ use and memoized by ``(label, atoms, effects)``; eager regions precompile
 all plans at construction (the existing compiler's compile-time
 optimization), lazy regions amortize planning over repeated firings (the
 "not yet implemented" improvement the paper suggests for the new approach).
+
+Fault tolerance
+---------------
+Blocking operations take an optional ``timeout``; a timed-out operation is
+*withdrawn* from its queue before :class:`ProtocolTimeoutError` is raised,
+so it can never enable a transition on behalf of a task that gave up.
+Tasks (via their ports, see :meth:`repro.runtime.ports._Port.set_owner`)
+may register as *parties* of the engine; deadlock is then detected
+precisely — every registered party blocked on a committed operation, engine
+quiescent — without the caller having to pass ``expected_parties``.  When a
+supervised peer crashed, the detection delivers :class:`PeerFailedError`
+(naming the dead task) instead of a bare :class:`DeadlockError`.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Sequence
 
@@ -36,7 +49,16 @@ from repro.automata.constraint import DEFAULT_REGISTRY, FunctionRegistry
 from repro.automata.lazy import LazyProduct
 from repro.automata.simplify import FiringPlan, commandify
 from repro.runtime.buffers import BufferStore
-from repro.util.errors import DeadlockError, PortClosedError
+from repro.runtime.trace import render_deadlock_diagnostic
+from repro.util.errors import (
+    DeadlockError,
+    PeerFailedError,
+    PortClosedError,
+    ProtocolTimeoutError,
+)
+
+#: How long a blocked operation waits between deadlock/timeout re-checks.
+_WAIT_TICK = 0.1
 
 
 class _Op:
@@ -49,6 +71,17 @@ class _Op:
         self.value = value
         self.done = False
         self.error: Exception | None = None
+
+
+class _Party:
+    """One registered party (task) of the engine, refcounted by port."""
+
+    __slots__ = ("name", "refs", "vertices")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.refs = 0
+        self.vertices: set[str] = set()
 
 
 class EagerRegion:
@@ -109,10 +142,23 @@ class CoordinatorEngine:
     """Reactive state machine driving one protocol instance.
 
     ``sources`` are boundary vertices bound to outports (tasks send there);
-    ``sinks`` are bound to inports.  ``expected_parties`` enables deadlock
-    detection: when that many operations are simultaneously blocked and no
-    transition is enabled, every blocked operation fails with
-    :class:`DeadlockError`.
+    ``sinks`` are bound to inports.  Deadlock detection runs in one of two
+    modes:
+
+    * **declared** — ``expected_parties`` names the total party count (the
+      seed behaviour): when that many parties are simultaneously blocked on
+      committed operations and no transition is enabled, every blocked
+      operation fails with :class:`DeadlockError`;
+    * **registered** — parties register via :meth:`register_party` (ports do
+      this for their owning task, see
+      :class:`repro.runtime.tasks.SupervisedTaskGroup`): detection triggers
+      when *every currently registered* party is blocked, after a
+      ``detection_grace`` confirmation window that absorbs staggered task
+      start-up.  Registration takes precedence over ``expected_parties``
+      because it tracks party exits precisely.
+
+    ``default_timeout`` bounds every blocking operation that does not pass
+    its own ``timeout``.
     """
 
     def __init__(
@@ -124,6 +170,8 @@ class CoordinatorEngine:
         registry: FunctionRegistry | None = None,
         expected_parties: int | None = None,
         tracer=None,
+        default_timeout: float | None = None,
+        detection_grace: float = 0.05,
     ):
         self.regions = list(regions)
         self.buffers = buffers
@@ -132,14 +180,24 @@ class CoordinatorEngine:
         self.registry = registry or DEFAULT_REGISTRY
         self.expected_parties = expected_parties
         self.tracer = tracer
+        self.default_timeout = default_timeout
+        self.detection_grace = detection_grace
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._pending_send: dict[str, deque[_Op]] = {v: deque() for v in sources}
         self._pending_recv: dict[str, deque[_Op]] = {v: deque() for v in sinks}
         self._closed_vertices: set[str] = set()
+        self._vertex_errors: dict[str, Exception] = {}
         self._closed = False
         self._blocked = 0
+
+        self._parties: dict[object, _Party] = {}
+        self._party_gen = 0  # bumped on every (un)registration
+        self._peer_failures: list[PeerFailedError] = []
+        # Candidate deadlock sighting awaiting confirmation:
+        # ((steps, party_gen, stuck), first_seen_monotonic).
+        self._suspect: tuple | None = None
 
         self._plans: dict[tuple, FiringPlan] = {}
         self.steps = 0  # global execution steps fired (the Fig. 12 metric)
@@ -157,22 +215,82 @@ class CoordinatorEngine:
 
     # ------------------------------------------------------------------ API
 
-    def submit_send(self, vertex: str, value, blocking: bool = True):
+    def submit_send(self, vertex: str, value, timeout: float | None = None) -> None:
+        """Blocking send; raises :class:`ProtocolTimeoutError` when
+        ``timeout`` (or the engine's ``default_timeout``) elapses first."""
         op = _Op(vertex, value)
-        return self._submit(self._pending_send[vertex], op, blocking)
+        self._submit(self._pending_send[vertex], op, timeout)
 
-    def submit_recv(self, vertex: str, blocking: bool = True):
+    def try_submit_send(self, vertex: str, value) -> bool:
+        """Non-blocking send: complete only if a transition fires with it
+        immediately; otherwise withdraw the offer and return ``False``."""
+        op = _Op(vertex, value)
+        return self._try_submit(self._pending_send[vertex], op)
+
+    def submit_recv(self, vertex: str, timeout: float | None = None):
+        """Blocking receive returning the delivered value; raises
+        :class:`ProtocolTimeoutError` when the timeout elapses first."""
         op = _Op(vertex)
-        result = self._submit(self._pending_recv[vertex], op, blocking)
-        if blocking:
-            return op.value
-        return (result, op.value if result else None)
+        self._submit(self._pending_recv[vertex], op, timeout)
+        return op.value
 
-    def close_vertex(self, vertex: str) -> None:
+    def try_submit_recv(self, vertex: str) -> tuple[bool, object]:
+        """Non-blocking receive; returns ``(completed, value)``."""
+        op = _Op(vertex)
+        ok = self._try_submit(self._pending_recv[vertex], op)
+        return (ok, op.value if ok else None)
+
+    def register_party(self, key, name: str = "", vertex: str | None = None) -> None:
+        """Declare a party (task) of this protocol instance.
+
+        One registration per (party, port); re-registrations are refcounted.
+        While any parties are registered, precise deadlock detection is
+        armed: all registered parties blocked + quiescent engine (stable for
+        ``detection_grace`` seconds) fails every blocked operation.
+        """
+        with self._cond:
+            party = self._parties.get(key)
+            if party is None:
+                party = self._parties[key] = _Party(name)
+            party.refs += 1
+            if name and not party.name:
+                party.name = name
+            if vertex is not None:
+                party.vertices.add(vertex)
+            self._party_gen += 1
+            self._suspect = None
+
+    def unregister_party(self, key, vertex: str | None = None) -> None:
+        """Drop one registration of ``key`` (a party exits, or one of its
+        ports closes).  Wakes blocked waiters so detection re-evaluates
+        against the smaller party set."""
+        with self._cond:
+            party = self._parties.get(key)
+            if party is None:
+                return
+            if vertex is not None:
+                party.vertices.discard(vertex)
+            party.refs -= 1
+            if party.refs <= 0:
+                del self._parties[key]
+            self._party_gen += 1
+            self._suspect = None
+            self._cond.notify_all()
+
+    def close_vertex(self, vertex: str, error: Exception | None = None) -> None:
+        """Close one boundary vertex.  Pending and future operations on it
+        fail with ``error`` (default :class:`PortClosedError`); a
+        :class:`PeerFailedError` is additionally remembered so that peers
+        detected as stuck later blame the dead task, not a bare deadlock."""
         with self._cond:
             self._closed_vertices.add(vertex)
-            self._fail_queue(self._pending_send.get(vertex))
-            self._fail_queue(self._pending_recv.get(vertex))
+            if error is not None:
+                self._vertex_errors[vertex] = error
+                if isinstance(error, PeerFailedError):
+                    self._peer_failures.append(error)
+            self._fail_queue(self._pending_send.get(vertex), error)
+            self._fail_queue(self._pending_recv.get(vertex), error)
+            self._suspect = None
             self._cond.notify_all()
 
     def close(self) -> None:
@@ -188,56 +306,138 @@ class CoordinatorEngine:
 
     # ------------------------------------------------------------ internals
 
-    def _fail_queue(self, queue: deque | None) -> None:
+    def _fail_queue(self, queue: deque | None, error: Exception | None = None) -> None:
         if not queue:
             return
         while queue:
             op = queue.popleft()
-            op.error = PortClosedError(f"vertex {op.vertex!r} closed")
+            op.error = error or PortClosedError(f"vertex {op.vertex!r} closed")
 
-    def _submit(self, queue: deque, op: _Op, blocking: bool) -> bool:
+    def _check_open(self, vertex: str) -> None:
+        if self._closed or vertex in self._closed_vertices:
+            raise self._vertex_errors.get(vertex) or PortClosedError(
+                f"vertex {vertex!r} closed"
+            )
+
+    def _try_submit(self, queue: deque, op: _Op) -> bool:
         with self._cond:
-            if self._closed or op.vertex in self._closed_vertices:
-                raise PortClosedError(f"vertex {op.vertex!r} closed")
+            self._check_open(op.vertex)
             queue.append(op)
             self._drain()
             if op.done:
                 return True
-            if not blocking:
-                queue.remove(op)
-                return False
+            if op.error is not None:
+                raise op.error
+            queue.remove(op)
+            return False
+
+    def _submit(self, queue: deque, op: _Op, timeout: float | None) -> None:
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._check_open(op.vertex)
+            queue.append(op)
+            self._drain()
+            if op.done:
+                return
             self._blocked += 1
             try:
                 while not op.done and op.error is None:
                     self._maybe_deadlock()
-                    self._cond.wait(timeout=0.1)
+                    if op.done or op.error is not None:
+                        break
+                    tick = _WAIT_TICK
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            # Cancel: withdraw the pending operation so no
+                            # stale queue entry survives the timeout.  (The
+                            # lock is held continuously since the last done
+                            # check, so the op cannot complete concurrently.)
+                            try:
+                                queue.remove(op)
+                            except ValueError:
+                                pass
+                            raise ProtocolTimeoutError(op.vertex, timeout)
+                        tick = min(tick, remaining)
+                    self._cond.wait(tick)
             finally:
                 self._blocked -= 1
             if op.error is not None:
                 raise op.error
-            return True
 
     def _maybe_deadlock(self) -> None:
-        if self.expected_parties is None:
+        if self._parties:
+            threshold = len(self._parties)
+            grace = self.detection_grace
+        elif self.expected_parties is not None:
+            threshold = self.expected_parties
+            grace = 0.0
+        else:
             return
-        # Every blocked task has exactly one queued, not-yet-done operation
-        # (completed operations are popped at firing time).  If every party
-        # has one and the drain loop — always run to quiescence after each
-        # submission and firing — found nothing enabled, nothing will ever
-        # fire again.
-        queued = sum(len(q) for q in self._pending_send.values()) + sum(
+        # ``stuck`` counts committed (queued, not-yet-completed) operations;
+        # completed operations are popped at firing time, and withdrawn
+        # (timed-out / non-blocking) operations are removed under the lock,
+        # so each remaining entry belongs to exactly one blocked waiter.
+        # Requiring the blocked-waiter count to agree means a non-blocking
+        # probe or an about-to-block submitter can never inflate the count
+        # into a spurious detection.
+        stuck = sum(len(q) for q in self._pending_send.values()) + sum(
             len(q) for q in self._pending_recv.values()
         )
-        if queued < self.expected_parties:
+        if stuck < threshold or self._blocked < threshold:
+            self._suspect = None
             return
-        err = DeadlockError(
-            f"all {self.expected_parties} parties blocked with no enabled transition"
-        )
+        if grace > 0.0:
+            # Confirmation window: a party that has not *registered* yet
+            # (e.g. a task the group is still spawning) must get a chance to
+            # appear before we conclude the registered set is complete.  Any
+            # firing or (un)registration resets the sighting.
+            mark = (self.steps, self._party_gen, stuck)
+            now = time.monotonic()
+            if self._suspect is None or self._suspect[0] != mark:
+                self._suspect = (mark, now)
+                return
+            if now - self._suspect[1] < grace:
+                return
+        err = self._stuck_error(threshold)
         for q in list(self._pending_send.values()) + list(self._pending_recv.values()):
             for op in q:
                 op.error = err
             q.clear()
+        self._suspect = None
         self._cond.notify_all()
+
+    def _stuck_error(self, threshold: int) -> Exception:
+        """The error delivered to all blocked parties: a PeerFailedError
+        blaming the first crashed peer when supervision recorded one, else a
+        DeadlockError with a full diagnostic dump."""
+        diagnostic = render_deadlock_diagnostic(
+            pending_sends={v: len(q) for v, q in self._pending_send.items() if q},
+            pending_recvs={v: len(q) for v, q in self._pending_recv.items() if q},
+            region_states=[r.state for r in self.regions],
+            parties={
+                (p.name or f"party{i}"): sorted(p.vertices)
+                for i, p in enumerate(self._parties.values())
+            },
+            blocked=self._blocked,
+            events=self.tracer.events[-8:] if self.tracer is not None else (),
+        )
+        if self._peer_failures:
+            first = self._peer_failures[0]
+            return PeerFailedError(
+                first.task,
+                first.cause,
+                message=(
+                    f"peer task {first.task!r} failed ({first.cause!r}); "
+                    f"all remaining parties blocked\n{diagnostic}"
+                ),
+            )
+        return DeadlockError(
+            f"all {threshold} parties blocked with no enabled transition",
+            diagnostic=diagnostic,
+        )
 
     def _pending_vertices(self):
         out = []
@@ -358,6 +558,8 @@ class CoordinatorEngine:
             "steps": self.steps,
             "plans": len(self._plans),
             "regions": len(self.regions),
+            "parties": len(self._parties),
+            "blocked": self._blocked,
         }
         expansions = 0
         cache_len = 0

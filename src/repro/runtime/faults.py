@@ -1,0 +1,205 @@
+"""Deterministic fault injection at ports — the robustness test harness.
+
+A :class:`FaultPlan` is a seeded, reproducible schedule of faults to inject
+at *named ports* on their *Nth operation*: delay the operation, drop the
+message, crash the task, or close the port.  Plans wrap ports from the
+outside (:meth:`FaultPlan.wrap`) — the engine hot path is untouched when no
+plan is installed, and an unlisted port is returned unwrapped.
+
+Fault kinds (``FaultSpec.kind``):
+
+* ``"delay"`` — sleep ``delay`` seconds before the operation (models a slow
+  peer; must surface as completion-within-timeout or
+  :class:`~repro.util.errors.ProtocolTimeoutError`, never a hang);
+* ``"drop"`` — on an outport, swallow the value (it is never offered to the
+  connector); on an inport, receive and discard one message, then perform
+  the real receive (models message loss);
+* ``"crash"`` — raise :class:`InjectedFault` in the acting task (models a
+  dying task; under :class:`~repro.runtime.tasks.SupervisedTaskGroup` the
+  peers must observe :class:`~repro.util.errors.PeerFailedError`);
+* ``"close"`` — close the underlying port, then attempt the operation
+  (which raises :class:`~repro.util.errors.PortClosedError`).
+
+Usage::
+
+    plan = FaultPlan.random(seed=7, port_names=[p.name for p in outs + ins])
+    outs = [plan.wrap(p) for p in outs]
+    ins = [plan.wrap(p) for p in ins]
+    ...run the protocol; every task must end in success or a typed
+    ReproError within its timeout — ``plan.applied`` says what was injected.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+
+#: Injectable fault kinds, in the order ``FaultPlan.random`` draws from.
+KINDS = ("delay", "drop", "crash", "close")
+
+
+class InjectedFault(ReproError):
+    """Raised inside a task by a ``"crash"`` fault (and nothing else)."""
+
+    def __init__(self, spec: "FaultSpec"):
+        self.spec = spec
+        super().__init__(f"injected fault: {spec}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: ``kind`` at ``port`` on its ``at_op``-th
+    operation (1-based, counted per wrapped port)."""
+
+    kind: str
+    port: str
+    at_op: int
+    delay: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if self.at_op < 1:
+            raise ValueError(f"at_op is 1-based, got {self.at_op}")
+
+    def __str__(self) -> str:
+        extra = f" ({self.delay}s)" if self.kind == "delay" else ""
+        return f"{self.kind}@{self.port}#{self.at_op}{extra}"
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec`\\ s.
+
+    At most one fault per (port, operation index); later specs for an
+    occupied slot are ignored.  ``applied`` records every spec that actually
+    fired, in injection order (thread-safe), so tests can assert the plan
+    was exercised.
+    """
+
+    def __init__(self, specs=(), name: str = ""):
+        self.name = name
+        self._by_port: dict[str, dict[int, FaultSpec]] = {}
+        for spec in specs:
+            self._by_port.setdefault(spec.port, {}).setdefault(spec.at_op, spec)
+        self.applied: list[FaultSpec] = []
+        self._lock = threading.Lock()
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        port_names,
+        n_faults: int = 3,
+        kinds=KINDS,
+        max_op: int = 8,
+        max_delay: float = 0.02,
+    ) -> "FaultPlan":
+        """A reproducible plan: the same ``seed`` + arguments always yield
+        the same faults."""
+        rng = random.Random(seed)
+        names = list(port_names)
+        specs = []
+        for _ in range(n_faults):
+            kind = rng.choice(list(kinds))
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    port=rng.choice(names),
+                    at_op=rng.randint(1, max_op),
+                    delay=round(rng.uniform(0.001, max_delay), 4) if kind == "delay" else 0.0,
+                )
+            )
+        return cls(specs, name=f"seed{seed}")
+
+    @property
+    def specs(self) -> list[FaultSpec]:
+        return [s for ops in self._by_port.values() for s in ops.values()]
+
+    def _lookup(self, port_name: str, op_index: int) -> FaultSpec | None:
+        return self._by_port.get(port_name, {}).get(op_index)
+
+    def _record(self, spec: FaultSpec) -> None:
+        with self._lock:
+            self.applied.append(spec)
+
+    def wrap(self, port):
+        """Wrap ``port`` if the plan schedules faults for its name; ports
+        the plan never mentions are returned unwrapped (zero overhead)."""
+        if port.name not in self._by_port:
+            return port
+        if hasattr(port, "send"):
+            return FaultyOutport(self, port)
+        return FaultyInport(self, port)
+
+    def wrap_all(self, ports) -> list:
+        return [self.wrap(p) for p in ports]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        specs = ", ".join(str(s) for s in sorted(self.specs, key=str))
+        return f"<FaultPlan {self.name or 'anon'} [{specs}]>"
+
+
+class _FaultyPort:
+    """Delegating proxy around one port, counting its operations."""
+
+    def __init__(self, plan: FaultPlan, port):
+        self._plan = plan
+        self._port = port
+        self._ops = 0
+        self._ops_lock = threading.Lock()
+
+    def __getattr__(self, attr):
+        return getattr(self._port, attr)
+
+    def _next_fault(self) -> FaultSpec | None:
+        with self._ops_lock:
+            self._ops += 1
+            return self._plan._lookup(self._port.name, self._ops)
+
+    def _pre(self, spec: FaultSpec | None) -> str | None:
+        """Apply the pre-operation part of a fault; returns the kind when
+        the operation itself must be altered ('drop') — None means proceed
+        normally."""
+        if spec is None:
+            return None
+        self._plan._record(spec)
+        if spec.kind == "delay":
+            time.sleep(spec.delay)
+            return None
+        if spec.kind == "crash":
+            raise InjectedFault(spec)
+        if spec.kind == "close":
+            self._port.close()
+            return None  # the delegated operation now raises PortClosedError
+        return spec.kind  # "drop"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<faulty {self._port!r}>"
+
+
+class FaultyOutport(_FaultyPort):
+    def send(self, value, timeout: float | None = None) -> None:
+        if self._pre(self._next_fault()) == "drop":
+            return  # the value silently never reaches the connector
+        self._port.send(value, timeout=timeout)
+
+    def try_send(self, value) -> bool:
+        if self._pre(self._next_fault()) == "drop":
+            return True  # reported sent, never offered
+        return self._port.try_send(value)
+
+
+class FaultyInport(_FaultyPort):
+    def recv(self, timeout: float | None = None):
+        if self._pre(self._next_fault()) == "drop":
+            self._port.recv(timeout=timeout)  # swallow one message...
+        return self._port.recv(timeout=timeout)  # ...then the real receive
+
+    def try_recv(self) -> tuple[bool, object]:
+        if self._pre(self._next_fault()) == "drop":
+            ok, _ = self._port.try_recv()  # swallow (if anything is there)
+        return self._port.try_recv()

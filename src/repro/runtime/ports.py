@@ -4,6 +4,14 @@ Ports are created standalone (as in the paper's Fig. 4 ``main``), then bound
 to a connector via ``Connector.connect(outports, inports)``.  In the
 generalized Foster–Chandy model both :meth:`Outport.send` and
 :meth:`Inport.recv` block until the connector completes the operation.
+
+Fault tolerance: blocking operations accept a ``timeout`` (seconds); a port
+may also *declare its owning task* via :meth:`_Port.set_owner`, which
+registers that task as a party on the engine — the basis of precise
+deadlock detection and of :class:`repro.runtime.tasks.SupervisedTaskGroup`'s
+crash propagation.  :meth:`_Port.fail` closes the port delivering a custom
+error (e.g. :class:`~repro.util.errors.PeerFailedError`) to blocked peers
+instead of a bare :class:`PortClosedError`.
 """
 
 from __future__ import annotations
@@ -25,6 +33,8 @@ class _Port:
         self._vertex: str | None = None
         self._closed = False
         self._lock = threading.Lock()
+        self._owner = None  # party key registered with the engine
+        self._owner_name = ""
 
     # -- binding (called by RuntimeConnector.connect) ----------------------
 
@@ -37,6 +47,9 @@ class _Port:
                 )
             self._engine = engine
             self._vertex = vertex
+            owner, owner_name = self._owner, self._owner_name
+        if owner is not None:
+            engine.register_party(owner, name=owner_name, vertex=vertex)
 
     def _require_bound(self):
         engine, vertex = self._engine, self._vertex
@@ -56,16 +69,54 @@ class _Port:
     def closed(self) -> bool:
         return self._closed
 
-    def close(self) -> None:
+    # -- ownership (party registration) ------------------------------------
+
+    def set_owner(self, key, name: str = "") -> None:
+        """Declare the task owning this port.  If (or once) the port is
+        bound, the owner is registered as a party of the engine; closing the
+        port unregisters it.  Supervision uses this to track which ports to
+        fail when a task dies."""
+        with self._lock:
+            if self._owner is not None and self._owner is not key:
+                raise RuntimeProtocolError(
+                    f"port {self.name!r} already has an owner"
+                )
+            already = self._owner is key
+            self._owner = key
+            self._owner_name = name
+            engine, vertex = self._engine, self._vertex
+        if engine is not None and not already:
+            engine.register_party(key, name=name, vertex=vertex)
+
+    def release_owner(self) -> None:
+        """Unregister this port's owner from the engine (the owning task
+        exited normally, or the port is closing)."""
+        with self._lock:
+            key = self._owner
+            self._owner = None
+            engine, vertex = self._engine, self._vertex
+        if key is not None and engine is not None:
+            engine.unregister_party(key, vertex=vertex)
+
+    # -- closing ------------------------------------------------------------
+
+    def close(self, error: Exception | None = None) -> None:
         """Close the port; pending and future operations raise
-        :class:`PortClosedError`."""
+        :class:`PortClosedError` (or ``error`` when given)."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             engine, vertex = self._engine, self._vertex
         if engine is not None:
-            engine.close_vertex(vertex)
+            engine.close_vertex(vertex, error=error)
+        self.release_owner()
+
+    def fail(self, error: Exception) -> None:
+        """Close the port on behalf of a crashed owner: blocked and future
+        peers on this vertex get ``error`` instead of PortClosedError, and
+        the engine remembers it so stuck peers elsewhere blame the crash."""
+        self.close(error=error)
 
     def __enter__(self):
         return self
@@ -82,29 +133,29 @@ class Outport(_Port):
     """A task's sending interface: ``send`` offers a message to the linked
     vertex and blocks until the connector is ready to handle it (§III.A)."""
 
-    def send(self, value) -> None:
+    def send(self, value, timeout: float | None = None) -> None:
         engine, vertex = self._require_bound()
-        engine.submit_send(vertex, value)
+        engine.submit_send(vertex, value, timeout=timeout)
 
     def try_send(self, value) -> bool:
         """Non-blocking send: complete the operation only if a transition
         can fire with it immediately; otherwise withdraw the offer."""
         engine, vertex = self._require_bound()
-        return engine.submit_send(vertex, value, blocking=False)
+        return engine.try_submit_send(vertex, value)
 
 
 class Inport(_Port):
     """A task's receiving interface: ``recv`` blocks until a message becomes
     available through the connector."""
 
-    def recv(self):
+    def recv(self, timeout: float | None = None):
         engine, vertex = self._require_bound()
-        return engine.submit_recv(vertex)
+        return engine.submit_recv(vertex, timeout=timeout)
 
     def try_recv(self) -> tuple[bool, object]:
         """Non-blocking receive; returns ``(completed, value)``."""
         engine, vertex = self._require_bound()
-        return engine.submit_recv(vertex, blocking=False)
+        return engine.try_submit_recv(vertex)
 
 
 def mkports(n_out: int, n_in: int, prefix: str = "") -> tuple[list[Outport], list[Inport]]:

@@ -5,6 +5,14 @@ whose :meth:`~TaskHandle.join` re-raises anything the task raised —
 silently-dying tasks are the classic parallel-programming footgun.
 :class:`TaskGroup` joins (and error-checks) a whole set of tasks, and is
 what the examples and benchmarks use for their ``main`` definitions.
+
+:class:`SupervisedTaskGroup` actually *defends* against the footgun: tasks
+declare the ports they own, the group registers them as parties on the
+connector engines behind those ports, and when a task dies with an
+exception its ports are closed with a
+:class:`~repro.util.errors.PeerFailedError` naming the dead task — so peers
+blocked on the protocol fail fast instead of hanging until a wall-clock
+timeout.
 """
 
 from __future__ import annotations
@@ -12,11 +20,30 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterable
 
+from repro.util.errors import PeerFailedError
+
+#: Bound on joining spawned tasks when a ``with TaskGroup()`` body raised
+#: (used when the group has no explicit ``join_timeout``).
+_EXIT_JOIN_TIMEOUT = 10.0
+
 
 class TaskHandle:
-    """A running task: join it to obtain its result or its exception."""
+    """A running task: join it to obtain its result or its exception.
 
-    def __init__(self, fn: Callable, args: tuple, kwargs: dict, name: str):
+    ``on_exit`` (if given) is called with the handle, on the task's own
+    thread, after the task finished — whether it returned or raised.  It is
+    the supervision hook: by the time any joiner observes the thread dead,
+    the callback has run.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        args: tuple,
+        kwargs: dict,
+        name: str,
+        on_exit: Callable[["TaskHandle"], None] | None = None,
+    ):
         self.name = name
         self.result = None
         self.exception: BaseException | None = None
@@ -26,6 +53,13 @@ class TaskHandle:
                 self.result = fn(*args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - reported at join
                 self.exception = exc
+            finally:
+                if on_exit is not None:
+                    try:
+                        on_exit(self)
+                    except BaseException as exc:  # noqa: BLE001
+                        if self.exception is None:
+                            self.exception = exc
 
         self.thread = threading.Thread(target=runner, name=name, daemon=True)
 
@@ -59,11 +93,17 @@ class TaskGroup:
     ...     g.spawn(producer, out)
     ...     g.spawn(consumer, inp)
     # exiting the block joins everything
+
+    If the ``with`` body itself raises, the spawned threads are still joined
+    (with a bounded timeout) so none is silently abandoned mid-protocol; the
+    body's exception propagates, and anything joining raised is recorded in
+    ``suppressed`` (and attached as exception notes where supported).
     """
 
     def __init__(self, join_timeout: float | None = None):
         self.handles: list[TaskHandle] = []
         self.join_timeout = join_timeout
+        self.suppressed: list[BaseException] = []
 
     def spawn(self, fn: Callable, *args, name: str = "", **kwargs) -> TaskHandle:
         h = spawn(fn, *args, name=name, **kwargs)
@@ -92,6 +132,80 @@ class TaskGroup:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.join_all()
+            return
+        # The body raised: still join every spawned thread (bounded), so no
+        # daemon thread is abandoned mid-protocol.  The body's exception
+        # propagates; join failures are chained onto it as notes.
+        timeout = self.join_timeout if self.join_timeout is not None else _EXIT_JOIN_TIMEOUT
+        for h in self.handles:
+            try:
+                h.join(timeout)
+            except BaseException as join_exc:  # noqa: BLE001
+                self.suppressed.append(join_exc)
+        if self.suppressed and hasattr(exc, "add_note"):
+            for s in self.suppressed:
+                exc.add_note(f"while handling this exception, joining a task failed: {s!r}")
+
+
+class SupervisedTaskGroup(TaskGroup):
+    """A TaskGroup with crash propagation through the coordination layer.
+
+    Each spawned task declares the ports it owns (``ports=``).  The group:
+
+    * registers the task as a *party* on every engine those ports are bound
+      to, arming precise deadlock detection (no ``expected_parties``
+      needed) — a genuine all-parties-blocked state raises
+      :class:`~repro.util.errors.DeadlockError` with a diagnostic dump;
+    * on **crash**, closes the dead task's ports with a
+      :class:`PeerFailedError` carrying the task name and exception, so
+      peers blocked on the connector fail fast;
+    * on **normal exit**, unregisters the party (closing the ports too when
+      ``close_ports_on_exit=True``), so peers waiting forever on an exited
+      task are detected instead of hanging.
+
+    All tasks sharing a connector should be spawned through supervision (or
+    declared via ``expected_parties``); an undeclared participant can make
+    the registered set look complete and trigger a premature detection.
+
+    >>> with SupervisedTaskGroup() as g:
+    ...     g.spawn(producer, out, ports=[out])
+    ...     g.spawn(consumer, inp, ports=[inp])
+    """
+
+    def __init__(self, join_timeout: float | None = None, close_ports_on_exit: bool = False):
+        super().__init__(join_timeout)
+        self.close_ports_on_exit = close_ports_on_exit
+        self._ports: dict[TaskHandle, tuple] = {}
+
+    def spawn(
+        self, fn: Callable, *args, ports: Iterable = (), name: str = "", **kwargs
+    ) -> TaskHandle:
+        h = TaskHandle(fn, args, kwargs, name or fn.__name__, on_exit=self._task_exited)
+        self._ports[h] = tuple(ports)
+        for p in self._ports[h]:
+            p.set_owner(h, name=h.name)
+        self.handles.append(h)
+        return h.start()
+
+    def _task_exited(self, handle: TaskHandle) -> None:
+        for p in self._ports.get(handle, ()):
+            if handle.exception is not None:
+                p.fail(PeerFailedError(handle.name, handle.exception))
+            elif self.close_ports_on_exit:
+                p.close()
+            else:
+                p.release_owner()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # Orchestration itself failed: release still-running tasks from
+            # their blocking operations so the bounded join below is quick.
+            err = PeerFailedError("<group body>", exc)
+            for h, ports in self._ports.items():
+                if h.alive:
+                    for p in ports:
+                        p.fail(err)
+        super().__exit__(exc_type, exc, tb)
 
 
 def join_all(handles: Iterable[TaskHandle], timeout: float | None = None) -> list:

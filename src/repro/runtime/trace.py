@@ -118,3 +118,47 @@ class TraceRecorder:
     def __len__(self) -> int:
         with self._lock:
             return len(self._events)
+
+
+def render_deadlock_diagnostic(
+    pending_sends: dict[str, int],
+    pending_recvs: dict[str, int],
+    region_states,
+    parties: dict[str, list[str]],
+    blocked: int,
+    events=(),
+) -> str:
+    """Render the engine-state dump attached to a DeadlockError.
+
+    The engine calls this at detection time (under its lock) with the
+    pending-operation counts per vertex, each region's current control
+    state, the registered parties and their port vertices, and — when a
+    tracer is attached — the last few fired steps, so the error message
+    alone tells the user *who* was waiting *where* when everything stopped.
+    """
+    lines = ["engine state at detection:"]
+    lines.append(f"  blocked waiters: {blocked}")
+    if pending_sends:
+        lines.append(
+            "  pending sends: "
+            + ", ".join(f"{v} (x{n})" for v, n in sorted(pending_sends.items()))
+        )
+    if pending_recvs:
+        lines.append(
+            "  pending recvs: "
+            + ", ".join(f"{v} (x{n})" for v, n in sorted(pending_recvs.items()))
+        )
+    if parties:
+        lines.append("  registered parties:")
+        for name, vertices in sorted(parties.items()):
+            where = ", ".join(vertices) if vertices else "-"
+            lines.append(f"    {name}: vertices {where}")
+    lines.append(
+        "  region states: "
+        + ", ".join(f"#{i}={s!r}" for i, s in enumerate(region_states))
+    )
+    if events:
+        lines.append("  last fired steps:")
+        for ev in events:
+            lines.append(f"    {ev}")
+    return "\n".join(lines)

@@ -69,8 +69,48 @@ class RuntimeProtocolError(ReproError):
 
 
 class DeadlockError(RuntimeProtocolError):
-    """Raised when every registered task is blocked and no transition is enabled."""
+    """Raised when every registered task is blocked and no transition is enabled.
+
+    ``diagnostic`` holds a multi-line dump of the engine's state at detection
+    time (pending vertices per party, region states, recent trace events) —
+    see :func:`repro.runtime.trace.render_deadlock_diagnostic`.
+    """
+
+    def __init__(self, message: str, diagnostic: str = ""):
+        self.diagnostic = diagnostic
+        if diagnostic:
+            message = f"{message}\n{diagnostic}"
+        super().__init__(message)
 
 
 class PortClosedError(RuntimeProtocolError):
     """Raised by send/recv on a closed port, and delivered to blocked peers."""
+
+
+class ProtocolTimeoutError(RuntimeProtocolError, TimeoutError):
+    """Raised when a blocking send/recv exceeds its timeout.
+
+    The timed-out operation is withdrawn from the connector before this is
+    raised, so a timeout never leaves a stale pending operation behind.
+    Also a :class:`TimeoutError`, so generic timeout handling catches it.
+    """
+
+    def __init__(self, vertex: str, timeout: float, kind: str = "operation"):
+        self.vertex = vertex
+        self.timeout = timeout
+        super().__init__(
+            f"{kind} on vertex {vertex!r} timed out after {timeout}s"
+        )
+
+
+class PeerFailedError(RuntimeProtocolError):
+    """Delivered to tasks blocked on a connector when a supervised peer task
+    died with an exception: carries the originating task's name and error so
+    the survivor fails fast instead of hanging."""
+
+    def __init__(self, task: str, cause: BaseException | None = None, message: str = ""):
+        self.task = task
+        self.cause = cause
+        super().__init__(
+            message or f"peer task {task!r} failed: {cause!r}"
+        )

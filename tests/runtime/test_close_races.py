@@ -1,0 +1,196 @@
+"""Close/crash races: closing mid-drain, closing under blocked peers,
+double-close, and send-after-close on every port type."""
+
+import threading
+import time
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.connectors import library
+from repro.runtime.channels import channel
+from repro.runtime.ports import mkports
+from repro.runtime.tasks import TaskGroup, spawn
+from repro.util.errors import PortClosedError, ProtocolTimeoutError, ReproError
+
+
+def pipe(**options):
+    conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector("P", **options)
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    return conn, outs[0], ins[0]
+
+
+def test_connector_close_during_active_drain():
+    """Closing while traffic is flowing: both sides stop with PortClosedError
+    (or finish), nothing hangs, nothing crashes untyped."""
+    conn, out, inp = pipe()
+    errors = []
+
+    def producer():
+        try:
+            for i in range(100_000):
+                out.send(i)
+        except PortClosedError as exc:
+            errors.append(exc)
+
+    def consumer():
+        try:
+            while True:
+                inp.recv()
+        except PortClosedError as exc:
+            errors.append(exc)
+
+    with TaskGroup(join_timeout=30) as g:
+        g.spawn(producer)
+        g.spawn(consumer)
+        time.sleep(0.05)  # let traffic build up
+        conn.close()
+    assert len(errors) == 2  # both tasks were cut off mid-stream
+
+
+def test_port_close_during_active_drain():
+    conn, out, inp = pipe()
+
+    def producer():
+        try:
+            for i in range(100_000):
+                out.send(i)
+            return "finished"
+        except PortClosedError:
+            return "cut off"
+
+    h = spawn(producer)
+    time.sleep(0.02)
+    out.close()
+    assert h.join(10) == "cut off"
+    conn.close()
+
+
+def test_close_vertex_with_peer_blocked_on_same_transition():
+    """Sync(a;b) fires {a,b} atomically.  Closing ``a`` while a receiver is
+    parked on ``b`` must not hang the receiver: its bounded recv converts to
+    a timeout (the transition can never fire again)."""
+    conn = compile_source("P(a;b) = Sync(a;b)").instantiate_connector("P")
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+
+    def blocked_recv():
+        with pytest.raises(ProtocolTimeoutError):
+            ins[0].recv(timeout=1.0)
+        return True
+
+    h = spawn(blocked_recv)
+    time.sleep(0.05)
+    outs[0].close()
+    assert h.join(10)
+    conn.close()
+
+
+def test_two_waiters_same_vertex_both_released_on_close():
+    conn, out, inp = pipe()
+    released = []
+
+    def blocked_recv(k):
+        with pytest.raises(PortClosedError):
+            inp.recv()
+        released.append(k)
+
+    h1, h2 = spawn(blocked_recv, 1), spawn(blocked_recv, 2)
+    time.sleep(0.05)
+    inp.close()
+    h1.join(10)
+    h2.join(10)
+    assert sorted(released) == [1, 2]
+    conn.close()
+
+
+def test_double_close_port_and_connector():
+    conn, out, inp = pipe()
+    out.close()
+    out.close()  # idempotent
+    conn.close()
+    conn.close()  # idempotent
+    inp.close()  # closing after the connector closed is fine too
+    assert out.closed and inp.closed
+
+
+def test_concurrent_close_from_many_threads():
+    conn, out, inp = pipe()
+    barrier = threading.Barrier(4)
+
+    def closer():
+        barrier.wait()
+        out.close()
+        conn.close()
+
+    hs = [spawn(closer) for _ in range(4)]
+    for h in hs:
+        h.join(10)
+    with pytest.raises(PortClosedError):
+        out.send(1)
+
+
+def test_send_after_close_every_port_type():
+    # runtime Outport
+    conn, out, inp = pipe()
+    out.close()
+    with pytest.raises(PortClosedError):
+        out.send(1)
+    with pytest.raises(PortClosedError):
+        out.try_send(1)
+    # runtime Inport
+    inp.close()
+    with pytest.raises(PortClosedError):
+        inp.recv()
+    with pytest.raises(PortClosedError):
+        inp.try_recv()
+    conn.close()
+    # basic-model channel ports
+    cout, cin = channel()
+    cout.close()
+    with pytest.raises(PortClosedError):
+        cout.send(1)
+    with pytest.raises(PortClosedError):
+        cin.recv()  # close marker delivered through the queue
+    cout2, cin2 = channel()
+    cin2.close()
+    with pytest.raises(PortClosedError):
+        cin2.recv()
+
+
+def test_send_after_connector_close_races_with_drain():
+    """Hammer submissions racing with a close from another thread; every
+    outcome must be clean completion or a typed ReproError."""
+    conn = library.connector("Merger", 2)
+    outs, ins = mkports(2, 1)
+    conn.connect(outs, ins)
+    outcomes = []
+    lock = threading.Lock()
+
+    def worker(port, value):
+        try:
+            for i in range(10_000):
+                port.send((value, i))
+            res = "done"
+        except ReproError as exc:
+            res = type(exc).__name__
+        with lock:
+            outcomes.append(res)
+
+    def drainer():
+        try:
+            while True:
+                ins[0].recv()
+        except ReproError as exc:
+            with lock:
+                outcomes.append(type(exc).__name__)
+
+    with TaskGroup(join_timeout=30) as g:
+        g.spawn(worker, outs[0], 0)
+        g.spawn(worker, outs[1], 1)
+        g.spawn(drainer)
+        time.sleep(0.05)
+        conn.close()
+    assert len(outcomes) == 3
+    assert all(o == "done" or o == "PortClosedError" for o in outcomes)

@@ -1,5 +1,6 @@
 """Task helpers: spawning, joining, error propagation."""
 
+import threading
 import time
 
 import pytest
@@ -50,12 +51,49 @@ def test_taskgroup_raises_first_error_after_joining_all():
     assert sorted(finished) == [1, 2]  # all were still joined
 
 
-def test_taskgroup_does_not_join_on_exception_in_body():
-    """If the with-body itself raises, join_all must not mask it."""
-    with pytest.raises(KeyError):
+def test_taskgroup_joins_on_exception_in_body():
+    """If the with-body itself raises, the spawned threads are still joined
+    (no thread abandoned mid-protocol) and the body's exception propagates
+    unmasked."""
+    holder = {}
+    with pytest.raises(KeyError, match="body error"):
         with TaskGroup() as g:
-            g.spawn(lambda: time.sleep(0.01))
+            holder["h"] = g.spawn(lambda: time.sleep(0.05))
             raise KeyError("body error")
+    assert not holder["h"].alive  # the thread was joined, not abandoned
+
+
+def test_taskgroup_body_exception_records_task_failures():
+    """A task failure discovered while unwinding a body exception must not
+    replace the body's exception — it is recorded in ``suppressed``."""
+
+    def bad():
+        raise ValueError("task error")
+
+    with pytest.raises(KeyError, match="body error"):
+        with TaskGroup() as g:
+            g.spawn(bad)
+            time.sleep(0.05)
+            raise KeyError("body error")
+    assert len(g.suppressed) == 1
+    assert isinstance(g.suppressed[0], ValueError)
+
+
+def test_taskgroup_body_exception_join_is_bounded():
+    """A stuck task must not stall unwinding forever: the exit join is
+    bounded by join_timeout and the original exception still propagates."""
+    ev = threading.Event()
+    t0 = time.monotonic()
+    try:
+        with pytest.raises(KeyError):
+            with TaskGroup(join_timeout=0.2) as g:
+                g.spawn(ev.wait)  # would block ~forever
+                raise KeyError("body error")
+        assert time.monotonic() - t0 < 5.0
+        assert len(g.suppressed) == 1
+        assert isinstance(g.suppressed[0], TimeoutError)
+    finally:
+        ev.set()  # release the daemon thread
 
 
 def test_join_all_helper():
