@@ -158,3 +158,26 @@ class LazyProduct:
 
     def successor(self, state: tuple[int, ...], step: ComposedStep) -> tuple[int, ...]:
         return step.successor(state)
+
+    def validate_state(self, state) -> tuple[int, ...]:
+        """Check that ``state`` is a well-formed state of this product.
+
+        Used when restoring a checkpoint: the restored tuple need not be
+        cached (``outgoing`` expands any reachable-or-not tuple on demand),
+        but it must have one in-range component state per automaton.
+        Returns the state (as a tuple) for convenience; raises ValueError
+        otherwise.
+        """
+        state = tuple(state)
+        if len(state) != len(self.automata):
+            raise ValueError(
+                f"state has {len(state)} components, product has "
+                f"{len(self.automata)}"
+            )
+        for i, (s, a) in enumerate(zip(state, self.automata)):
+            if not isinstance(s, int) or not (0 <= s < max(a.n_states, 1)):
+                raise ValueError(
+                    f"component {i} state {s!r} out of range for "
+                    f"{a.n_states}-state automaton"
+                )
+        return state

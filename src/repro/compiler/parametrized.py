@@ -29,6 +29,7 @@ from repro.lang import ast
 from repro.lang.flatten import flatten
 from repro.lang.normalize import NormalForm, normalize
 from repro.lang.parser import parse
+from repro.util.errors import CompilationError
 
 
 def _plan_of(nf: NormalForm, defname: str) -> PlanNode:
@@ -67,3 +68,96 @@ def compile_source(source: str) -> CompiledProgram:
     """Parse and compile DSL ``source`` (the paper's text-to-code compiler,
     Python edition)."""
     return compile_program(parse(source))
+
+
+def shrink_bindings(
+    protocol: CompiledProtocol,
+    bindings: dict[str, str | list[str]],
+    departing: set[str],
+) -> tuple[dict[str, str | list[str]], dict[str, str], dict[int, int] | None]:
+    """Re-parametrization arithmetic: remove boundary vertices, shrink arities.
+
+    This is the compile-side half of run-time re-parametrization (the paper
+    fixes a connector's number of tasks at *run time*; here we change it
+    *during* the run): given a protocol's current ``bindings`` and the set
+    of ``departing`` boundary vertices, compute
+
+    * ``new_bindings`` — default bindings at the reduced array lengths,
+      ready for :meth:`CompiledProtocol.automata_for`;
+    * ``vertex_map`` — every surviving old boundary vertex → its new name
+      (survivors keep their *position order*, so party ``k+1`` of ``n``
+      becomes party ``k`` of ``n−1``);
+    * ``index_map`` — surviving old 1-based iteration index → new index,
+      for remapping singly-indexed internal vertex/buffer names; ``None``
+      when the departure pattern differs between array parameters (an
+      unambiguous shift does not exist then).
+
+    Raises :class:`CompilationError` when a departing vertex is bound to a
+    scalar parameter (a scalar cannot be removed), would empty an array
+    (the paper stipulates arrays are nonempty), or is not a boundary vertex
+    of these bindings at all.
+    """
+    departing = set(departing)
+    unseen = set(departing)
+    new_sizes: dict[str, int] = {}
+    removed_positions: dict[str, list[int]] = {}
+    for p in protocol.params:
+        bound = bindings[p.name]
+        if isinstance(bound, list):
+            positions = [i for i, v in enumerate(bound, 1) if v in departing]
+            unseen -= {bound[i - 1] for i in positions}
+            removed_positions[p.name] = positions
+            new_len = len(bound) - len(positions)
+            if new_len < 1:
+                raise CompilationError(
+                    f"removing {sorted(departing)} would empty array "
+                    f"parameter {p.name!r} of {protocol.name!r}"
+                )
+            new_sizes[p.name] = new_len
+        elif bound in departing:
+            raise CompilationError(
+                f"vertex {bound!r} is bound to scalar parameter {p.name!r} "
+                f"of {protocol.name!r}; scalars cannot leave"
+            )
+    if unseen:
+        raise CompilationError(
+            f"vertices {sorted(unseen)} are not boundary vertices of "
+            f"{protocol.name!r} under the current bindings"
+        )
+
+    new_bindings = protocol.default_bindings(new_sizes)
+    vertex_map: dict[str, str] = {}
+    for p in protocol.params:
+        old = bindings[p.name]
+        new = new_bindings[p.name]
+        if isinstance(old, list):
+            survivors = [v for v in old if v not in departing]
+            vertex_map.update(zip(survivors, new))
+        else:
+            vertex_map[old] = new
+
+    # One consistent index shift exists iff every array parameter lost the
+    # same positions (the common case: one logical party owns index k in
+    # every array).  Parameters that lost nothing don't constrain the shift
+    # unless *all* lost nothing, in which case it is the identity on the
+    # longest parameter's range.
+    position_sets = {
+        tuple(v) for v in removed_positions.values() if v
+    }
+    index_map: dict[int, int] | None
+    if len(position_sets) > 1:
+        index_map = None
+    else:
+        removed = set(next(iter(position_sets))) if position_sets else set()
+        longest = max(
+            (len(b) for b in bindings.values() if isinstance(b, list)),
+            default=0,
+        )
+        index_map = {}
+        new_i = 0
+        for old_i in range(1, longest + 1):
+            if old_i in removed:
+                continue
+            new_i += 1
+            index_map[old_i] = new_i
+    return new_bindings, vertex_map, index_map

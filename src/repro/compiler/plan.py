@@ -349,7 +349,12 @@ class CompiledProtocol:
         automata = self.automata_for(bindings, granularity)
         tails, heads = self.boundary_vertices(bindings)
         options.setdefault("name", self.name)
-        return RuntimeConnector(automata, tails, heads, **options)
+        conn = RuntimeConnector(automata, tails, heads, **options)
+        # Remember the compiled protocol behind this instance: run-time
+        # re-parametrization (RuntimeConnector.leave) re-evaluates the plan
+        # at the reduced arity.
+        conn.bind_protocol(self, bindings, granularity)
+        return conn
 
 
 class CompiledProgram:

@@ -17,10 +17,17 @@ from repro.runtime.buffers import BufferStore
 from repro.runtime.ports import Inport, Outport, mkports
 from repro.runtime.engine import CoordinatorEngine
 from repro.runtime.connector import Connector, RuntimeConnector
-from repro.runtime.tasks import SupervisedTaskGroup, TaskGroup, TaskHandle, spawn
+from repro.runtime.recovery import Checkpoint, DepartureReport, RestartPolicy
+from repro.runtime.tasks import (
+    SupervisedTask,
+    SupervisedTaskGroup,
+    TaskGroup,
+    TaskHandle,
+    spawn,
+)
 from repro.runtime.trace import TraceEvent, TraceRecorder
 from repro.runtime.channels import Channel, ChannelInport, ChannelOutport
-from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFault, assert_recovered
 
 __all__ = [
     "BufferStore",
@@ -30,6 +37,10 @@ __all__ = [
     "CoordinatorEngine",
     "Connector",
     "RuntimeConnector",
+    "Checkpoint",
+    "DepartureReport",
+    "RestartPolicy",
+    "SupervisedTask",
     "SupervisedTaskGroup",
     "TaskGroup",
     "TaskHandle",
@@ -42,4 +53,5 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "assert_recovered",
 ]

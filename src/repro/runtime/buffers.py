@@ -63,3 +63,33 @@ class BufferStore:
     def snapshot(self) -> dict[str, tuple]:
         """Immutable view of all buffer contents (debugging/tests)."""
         return {name: tuple(q) for name, q in self._queues.items()}
+
+    def set_contents(self, name: str, items) -> None:
+        """Replace one buffer's contents wholesale (checkpoint restore and
+        re-parametrization migration)."""
+        if name not in self._queues:
+            raise RuntimeProtocolError(f"unknown buffer {name!r}")
+        items = tuple(items)
+        cap = self._capacity[name]
+        if cap is not None and len(items) > cap:
+            raise RuntimeProtocolError(
+                f"buffer {name!r} cannot hold {len(items)} values (capacity {cap})"
+            )
+        self._queues[name] = deque(items)
+
+    def restore(self, snapshot: dict[str, tuple]) -> None:
+        """Replace *all* contents from a checkpoint snapshot.
+
+        The snapshot must cover exactly this store's buffer names — a
+        mismatch means the checkpoint was taken from a structurally
+        different connector, which is an error, not a best-effort merge.
+        """
+        if set(snapshot) != set(self._queues):
+            missing = sorted(set(self._queues) - set(snapshot))
+            extra = sorted(set(snapshot) - set(self._queues))
+            raise RuntimeProtocolError(
+                f"buffer snapshot does not match store (missing {missing}, "
+                f"unknown {extra})"
+            )
+        for name, items in snapshot.items():
+            self.set_contents(name, items)

@@ -6,61 +6,161 @@ available.  This is the model the paper generalizes, kept here (a) as the
 baseline programming model for comparisons and tests (Ex. 2 is implemented
 with it), and (b) as the communication substrate of the *original* NPB
 variants (§V.C), which use hand-written synchronization.
+
+Fault tolerance mirrors the connector-port API so the two models satisfy
+one contract (``tests/runtime/test_model_contract.py``):
+
+* ``recv(timeout=...)`` raises :class:`~repro.util.errors.ProtocolTimeoutError`
+  instead of blocking forever (``send`` accepts ``timeout=`` for symmetry
+  but never needs it — the buffer is unbounded);
+* ``try_send``/``try_recv`` are the non-blocking forms, ``try_recv``
+  returning the normalized ``(completed, value)`` pair;
+* ``close(error=...)``/``fail(error)`` close *with a cause*: a peer blocked
+  on (or later attempting) the other end observes that error — e.g. the
+  :class:`~repro.util.errors.PeerFailedError` supervision injects when the
+  owning task dies — instead of a bare :class:`PortClosedError`;
+* ``set_owner``/``release_owner`` record the owning task (accepted for
+  API parity with connector ports; the basic model has no engine to
+  register parties on, so there is no deadlock detection here).
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 
-from repro.util.errors import PortClosedError
+from repro.util.errors import PortClosedError, ProtocolTimeoutError
 
-_CLOSED = object()
+_channel_ids = itertools.count()
 
 
-class ChannelOutport:
-    """Sending end of a basic channel: ``send`` never blocks (§II)."""
+class _Closed:
+    """Sentinel enqueued at close time, optionally carrying the cause."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: Exception | None = None):
+        self.error = error
+
+
+class _ChannelPort:
+    """Common state of the two channel ends."""
 
     def __init__(self, name: str = ""):
-        self.name = name
+        self.name = name or f"ch{next(_channel_ids)}"
         self._queue: queue.SimpleQueue | None = None
         self._closed = False
+        self._error: Exception | None = None
+        self._owner = None
+        self._owner_name = ""
 
-    def send(self, value) -> None:
+    def _raise_closed(self, doing: str):
+        if self._error is not None:
+            raise self._error
+        raise PortClosedError(f"{doing} {self.name!r} closed")
+
+    # -- ownership (API parity with connector ports) ------------------------
+
+    def set_owner(self, key, name: str = "") -> None:
+        """Record the owning task.  The basic model has no coordination
+        engine, so this registers no party — it only lets supervision fail
+        this port with a cause when the owner dies."""
+        self._owner = key
+        self._owner_name = name
+
+    def release_owner(self) -> None:
+        self._owner = None
+        self._owner_name = ""
+
+    def fail(self, error: Exception) -> None:
+        """Close on behalf of a crashed owner: the peer end observes
+        ``error`` (typically :class:`PeerFailedError`) instead of a bare
+        :class:`PortClosedError`."""
+        self.close(error=error)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def connected(self) -> bool:
+        return self._queue is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else ("bound" if self.connected else "unbound")
+        return f"<{type(self).__name__} {self.name} ({state})>"
+
+
+class ChannelOutport(_ChannelPort):
+    """Sending end of a basic channel: ``send`` never blocks (§II)."""
+
+    def send(self, value, timeout: float | None = None) -> None:
+        """Send ``value``; the buffer is unbounded, so this completes
+        immediately (``timeout`` is accepted for API symmetry with
+        connector outports and never expires)."""
+        del timeout  # a non-blocking send cannot time out
         if self._closed:
-            raise PortClosedError(f"outport {self.name!r} closed")
+            self._raise_closed("outport")
         if self._queue is None:
             raise PortClosedError(f"outport {self.name!r} not connected")
         self._queue.put(value)
 
-    def close(self) -> None:
+    def try_send(self, value) -> bool:
+        """Non-blocking send; always completes on an open, connected
+        channel (unbounded buffer)."""
+        self.send(value)
+        return True
+
+    def close(self, error: Exception | None = None) -> None:
         if not self._closed:
             self._closed = True
+            self._error = error
             if self._queue is not None:
-                self._queue.put(_CLOSED)
+                self._queue.put(_Closed(error))
 
 
-class ChannelInport:
+class ChannelInport(_ChannelPort):
     """Receiving end of a basic channel: ``recv`` blocks until a message
     becomes available."""
 
-    def __init__(self, name: str = ""):
-        self.name = name
-        self._queue: queue.SimpleQueue | None = None
-        self._closed = False
-
-    def recv(self):
+    def _check_open(self):
         if self._closed:
-            raise PortClosedError(f"inport {self.name!r} closed")
+            self._raise_closed("inport")
         if self._queue is None:
             raise PortClosedError(f"inport {self.name!r} not connected")
-        value = self._queue.get()
-        if value is _CLOSED:
+        return self._queue
+
+    def _arrived(self, value):
+        if isinstance(value, _Closed):
             self._closed = True
+            self._error = value.error
+            if value.error is not None:
+                raise value.error
             raise PortClosedError(f"channel to inport {self.name!r} closed")
         return value
 
-    def close(self) -> None:
-        self._closed = True
+    def recv(self, timeout: float | None = None):
+        q = self._check_open()
+        try:
+            value = q.get(timeout=timeout)
+        except queue.Empty:
+            raise ProtocolTimeoutError(self.name, timeout, kind="recv") from None
+        return self._arrived(value)
+
+    def try_recv(self) -> tuple[bool, object]:
+        """Non-blocking receive; returns the normalized ``(completed,
+        value)`` pair — ``(False, None)`` when no message is buffered."""
+        q = self._check_open()
+        try:
+            value = q.get_nowait()
+        except queue.Empty:
+            return False, None
+        return True, self._arrived(value)
+
+    def close(self, error: Exception | None = None) -> None:
+        if not self._closed:
+            self._closed = True
+            self._error = error
 
 
 class Channel:

@@ -86,11 +86,29 @@ class RuntimeConnector(Connector):
         self.name = name
         self.engine: CoordinatorEngine | None = None
 
+        # Recovery bookkeeping: the compiled protocol behind this instance
+        # (set via bind_protocol when instantiated from a CompiledProtocol;
+        # required for leave()) and the connected ports (set by connect).
+        self._protocol = None
+        self._bindings: dict | None = None
+        self._granularity: str | None = None
+        self._outports: list[Outport] = []
+        self._inports: list[Inport] = []
+        self.departures: list = []  # DepartureReports, in order
+
         overlap = set(self.tail_vertices) & set(self.head_vertices)
         if overlap:
             raise RuntimeProtocolError(
                 f"vertices {sorted(overlap)} appear on both sides of the signature"
             )
+
+    def bind_protocol(self, protocol, bindings: dict, granularity: str) -> None:
+        """Attach the compiled protocol this connector was instantiated
+        from (called by ``CompiledProtocol.instantiate_connector``), which
+        is what makes run-time re-parametrization possible."""
+        self._protocol = protocol
+        self._bindings = dict(bindings)
+        self._granularity = granularity
 
     # ------------------------------------------------------------------
 
@@ -113,13 +131,46 @@ class RuntimeConnector(Connector):
 
         sources = frozenset(self.tail_vertices)
         sinks = frozenset(self.head_vertices)
+        regions, store = self._build_regions(self.automata, sources, sinks)
 
-        groups = (
-            partition_automata(self.automata)
-            if self.use_partitioning
-            else [self.automata]
+        self.engine = CoordinatorEngine(
+            regions,
+            store,
+            sources,
+            sinks,
+            registry=self.registry,
+            expected_parties=self.expected_parties,
+            tracer=self.tracer,
+            default_timeout=self.default_timeout,
+            detection_grace=self.detection_grace,
         )
+        if self.composition == "aot":
+            # The existing approach compiles every transition's firing plan
+            # ahead of time (§V.B point 1).
+            self.engine.precompile_plans()
 
+        self._outports = list(outports)
+        self._inports = list(inports)
+        for port, vertex in zip(outports, self.tail_vertices):
+            port._bind(self.engine, vertex)
+            port._connector = self
+        for port, vertex in zip(inports, self.head_vertices):
+            port._bind(self.engine, vertex)
+            port._connector = self
+
+    def _build_regions(
+        self,
+        automata: Sequence[ConstraintAutomaton],
+        sources: frozenset[str],
+        sinks: frozenset[str],
+    ) -> tuple[list[EagerRegion | LazyRegion], BufferStore]:
+        """Compose ``automata`` into engine regions per this connector's
+        options — used both at ``connect`` time and when re-parametrizing."""
+        groups = (
+            partition_automata(list(automata))
+            if self.use_partitioning
+            else [list(automata)]
+        )
         regions: list[EagerRegion | LazyRegion] = []
         all_buffers = []
         for group in groups:
@@ -141,27 +192,142 @@ class RuntimeConnector(Connector):
                 regions.append(
                     LazyRegion(LazyProduct(group, mode=self.step_mode, cache=cache))
                 )
+        return regions, BufferStore(all_buffers)
 
-        self.engine = CoordinatorEngine(
+    # ------------------------------------------------------- recovery layer
+
+    def _require_engine(self) -> CoordinatorEngine:
+        if self.engine is None:
+            raise RuntimeProtocolError(
+                f"{self.name or 'connector'} is not connected"
+            )
+        return self.engine
+
+    def checkpoint(self, name: str = ""):
+        """Snapshot the complete protocol state at a quiescent point.
+
+        See :meth:`repro.runtime.engine.CoordinatorEngine.checkpoint`; the
+        returned :class:`~repro.runtime.recovery.Checkpoint` can be restored
+        into this connector or into a freshly built, structurally identical
+        one (same definition, same arity, same composition options).
+        """
+        return self._require_engine().checkpoint(name=name or self.name)
+
+    def restore(self, cp) -> None:
+        """Restore a :class:`~repro.runtime.recovery.Checkpoint` taken from
+        this connector or a structurally identical instance."""
+        self._require_engine().restore(cp)
+
+    def leave(self, *ports, task: str = "", cause: BaseException | None = None):
+        """Permanently remove the party owning ``ports`` and re-parametrize.
+
+        The compiled protocol behind this connector is re-evaluated at the
+        reduced arity (``shrink_bindings`` + ``automata_for`` — the same
+        run-time share of parametrized compilation that built the original
+        instance), surviving buffer contents are migrated across (singly
+        indexed internal names shift down past the departed index), pending
+        operations of surviving parties move to their renamed vertices, and
+        the departing ports are detached without poisoning anyone.  Blocked
+        survivors wake up against the smaller protocol — an ``n``-party
+        barrier degrades to ``n−1`` instead of deadlocking.
+
+        Returns a :class:`~repro.runtime.recovery.DepartureReport` (also
+        appended to ``self.departures``).  Raises
+        :class:`RuntimeProtocolError` when this connector was not
+        instantiated from a compiled protocol (graph-built connectors have
+        no plan to re-evaluate), and :class:`CompilationError` when the
+        departure is structurally impossible (scalar parameter, last array
+        element).
+        """
+        from repro.compiler.parametrized import shrink_bindings
+        from repro.runtime.recovery import (
+            DepartureReport,
+            index_name_map,
+            migrate_buffers,
+        )
+
+        engine = self._require_engine()
+        if self._protocol is None or self._bindings is None:
+            raise RuntimeProtocolError(
+                f"{self.name or 'connector'} was not instantiated from a "
+                "compiled protocol; re-parametrization needs the plan "
+                "(use CompiledProtocol.instantiate_connector)"
+            )
+        if not ports:
+            raise RuntimeProtocolError("leave() needs at least one port")
+        for p in ports:
+            if p._connector is not self:
+                raise RuntimeProtocolError(
+                    f"port {p.name!r} is not connected to this connector"
+                )
+        departing = {p._vertex for p in ports}
+
+        new_bindings, vertex_map, index_map = shrink_bindings(
+            self._protocol, self._bindings, departing
+        )
+        automata = self._protocol.automata_for(new_bindings, self._granularity)
+        new_tails, new_heads = self._protocol.boundary_vertices(new_bindings)
+        sources, sinks = frozenset(new_tails), frozenset(new_heads)
+        regions, store = self._build_regions(automata, sources, sinks)
+
+        # Buffer migration: boundary renames are exact (vertex_map); other
+        # singly-indexed names shift via index_map; everything else maps by
+        # identity or is dropped-and-reported.
+        shift = index_name_map(index_map) if index_map is not None else (
+            lambda name: name
+        )
+
+        def name_map(name: str) -> str | None:
+            if name in vertex_map:
+                return vertex_map[name]
+            if name in departing:
+                return None
+            return shift(name)
+
+        old_contents = engine.buffers.snapshot()
+        _, dropped = migrate_buffers(old_contents, store, name_map)
+
+        # Detach the departing ports first: their party registration leaves
+        # the registry before detection re-evaluates against the survivors.
+        owners = {p._owner for p in ports if p._owner is not None}
+        for p in ports:
+            p._detach()
+        engine.reconfigure(
             regions,
-            BufferStore(all_buffers),
+            store,
             sources,
             sinks,
-            registry=self.registry,
-            expected_parties=self.expected_parties,
-            tracer=self.tracer,
-            default_timeout=self.default_timeout,
-            detection_grace=self.detection_grace,
+            vertex_map,
+            expected_delta=max(len(owners), 1),
         )
         if self.composition == "aot":
-            # The existing approach compiles every transition's firing plan
-            # ahead of time (§V.B point 1).
-            self.engine.precompile_plans()
+            engine.precompile_plans()
 
-        for port, vertex in zip(outports, self.tail_vertices):
-            port._bind(self.engine, vertex)
-        for port, vertex in zip(inports, self.head_vertices):
-            port._bind(self.engine, vertex)
+        # Rebind surviving ports and update the connector's own signature.
+        # Filter by vertex, not port identity: callers may hand in delegating
+        # proxies (e.g. fault-injection wrappers) around the bound ports.
+        for plist, vertices in (
+            (self._outports, new_tails),
+            (self._inports, new_heads),
+        ):
+            survivors = [p for p in plist if p._vertex not in departing]
+            for p, v in zip(survivors, vertices):
+                p._rebind_vertex(v)
+            plist[:] = survivors
+        self.automata = list(automata)
+        self.tail_vertices = list(new_tails)
+        self.head_vertices = list(new_heads)
+        self._bindings = new_bindings
+
+        report = DepartureReport(
+            task=task,
+            removed_vertices=tuple(sorted(departing)),
+            vertex_map=vertex_map,
+            dropped_buffers=dropped,
+            cause=cause,
+        )
+        self.departures.append(report)
+        return report
 
     # ------------------------------------------------------------------
 

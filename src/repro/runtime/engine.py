@@ -49,8 +49,10 @@ from repro.automata.constraint import DEFAULT_REGISTRY, FunctionRegistry
 from repro.automata.lazy import LazyProduct
 from repro.automata.simplify import FiringPlan, commandify
 from repro.runtime.buffers import BufferStore
+from repro.runtime.recovery import Checkpoint, RegionState
 from repro.runtime.trace import render_deadlock_diagnostic
 from repro.util.errors import (
+    CheckpointError,
     DeadlockError,
     PeerFailedError,
     PortClosedError,
@@ -302,6 +304,199 @@ class CoordinatorEngine:
                 self._fail_queue(q)
             for q in self._pending_recv.values():
                 self._fail_queue(q)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------- recovery layer
+
+    def _pending_count(self) -> int:
+        return sum(len(q) for q in self._pending_send.values()) + sum(
+            len(q) for q in self._pending_recv.values()
+        )
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no operation is pending and no party is blocked."""
+        with self._lock:
+            return self._pending_count() == 0 and self._blocked == 0
+
+    def _require_quiescent(self, action: str) -> None:
+        """Caller holds the lock."""
+        pending = self._pending_count()
+        if pending or self._blocked:
+            raise CheckpointError(
+                f"{action} requires a quiescent engine: {pending} pending "
+                f"operation(s), {self._blocked} blocked waiter(s)"
+            )
+        if self._closed or self._closed_vertices:
+            raise CheckpointError(
+                f"{action} requires a fully open connector: "
+                + ("engine closed" if self._closed
+                   else f"closed vertices {sorted(self._closed_vertices)}")
+            )
+
+    def checkpoint(self, name: str = "") -> Checkpoint:
+        """Snapshot the complete protocol state at a quiescent point.
+
+        The snapshot covers each region's control state and round-robin
+        cursor, every buffer's contents, the global step count, and the
+        registered-party registry.  Raises :class:`CheckpointError` unless
+        the engine is quiescent (no pending operations, no blocked waiters,
+        nothing closed) — a mid-firing snapshot would not be a protocol
+        state at all.
+        """
+        with self._cond:
+            self._require_quiescent("checkpoint")
+            regions = tuple(
+                RegionState("eager", r.state, r.rr)
+                if isinstance(r, EagerRegion)
+                else RegionState("lazy", tuple(r.state), r.rr)
+                for r in self.regions
+            )
+            parties = tuple(
+                (p.name or f"party{i}", tuple(sorted(p.vertices)))
+                for i, p in enumerate(self._parties.values())
+            )
+            return Checkpoint(
+                connector=name,
+                regions=regions,
+                buffers=self.buffers.snapshot(),
+                steps=self.steps,
+                parties=parties,
+            )
+
+    def restore(self, cp: Checkpoint) -> None:
+        """Restore a checkpoint into this engine (same or structurally
+        identical connector).
+
+        Validates region kinds/state domains and the buffer signature
+        before touching anything, so a failed restore leaves the engine
+        unchanged.  An attached tracer is cleared: events fired before the
+        restore (e.g. a fresh connector's constructor drain) predate the
+        restored state.
+        """
+        with self._cond:
+            self._require_quiescent("restore")
+            if len(cp.regions) != len(self.regions):
+                raise CheckpointError(
+                    f"checkpoint has {len(cp.regions)} regions, engine has "
+                    f"{len(self.regions)}"
+                )
+            validated = []
+            for rs, region in zip(cp.regions, self.regions):
+                if isinstance(region, EagerRegion):
+                    if rs.kind != "eager":
+                        raise CheckpointError(
+                            f"region kind mismatch: checkpoint {rs.kind!r}, "
+                            "engine 'eager' (same composition mode required)"
+                        )
+                    n = region.automaton.n_states
+                    if not isinstance(rs.state, int) or not (0 <= rs.state < n):
+                        raise CheckpointError(
+                            f"state {rs.state!r} out of range for "
+                            f"{n}-state region"
+                        )
+                    validated.append(rs.state)
+                else:
+                    if rs.kind != "lazy":
+                        raise CheckpointError(
+                            f"region kind mismatch: checkpoint {rs.kind!r}, "
+                            "engine 'lazy' (same composition mode required)"
+                        )
+                    try:
+                        validated.append(region.lazy.validate_state(rs.state))
+                    except ValueError as exc:
+                        raise CheckpointError(str(exc)) from None
+            try:
+                self.buffers.restore(cp.buffers)
+            except Exception as exc:
+                raise CheckpointError(f"buffer restore failed: {exc}") from exc
+            for region, rs, state in zip(self.regions, cp.regions, validated):
+                region.state = state
+                region.rr = rs.rr
+            self.steps = cp.steps
+            self._suspect = None
+            if self.tracer is not None:
+                self.tracer.clear()
+            # A quiescent-point snapshot has no internal transition enabled,
+            # so this drain is a no-op in the normal case — it only matters
+            # if a caller restores a hand-built checkpoint.
+            self._drain()
+            self._cond.notify_all()
+
+    def reconfigure(
+        self,
+        regions: Sequence["EagerRegion | LazyRegion"],
+        buffers: BufferStore,
+        sources: frozenset[str],
+        sinks: frozenset[str],
+        vertex_map: dict[str, str],
+        expected_delta: int = 0,
+    ) -> None:
+        """Replace this engine's protocol wholesale — the re-parametrization
+        primitive.
+
+        Called with the regions/buffers of the connector re-instantiated at
+        its new arity and ``vertex_map`` mapping every *surviving* old
+        boundary vertex to its new name.  Pending operations of surviving
+        parties are migrated to their renamed vertices **reusing the same
+        deque objects**, so a concurrently timing-out waiter (which removes
+        its op from the deque it captured) can never leave a stale entry in
+        a queue the engine still consults.  Operations on departed vertices
+        fail with :class:`PortClosedError`; recorded peer failures are
+        cleared (the departure *is* the recovery), and the drain at the end
+        fires anything the smaller protocol now enables — unblocking
+        survivors that were parked mid-barrier.
+        """
+        with self._cond:
+            old_send, old_recv = self._pending_send, self._pending_recv
+            self.regions = list(regions)
+            self.buffers = buffers
+            self.sources = sources
+            self.sinks = sinks
+            self._pending_send = {v: deque() for v in sources}
+            self._pending_recv = {v: deque() for v in sinks}
+            for old_map, new_map in (
+                (old_send, self._pending_send),
+                (old_recv, self._pending_recv),
+            ):
+                for v, q in old_map.items():
+                    nv = vertex_map.get(v)
+                    if nv is None or nv not in new_map:
+                        self._fail_queue(
+                            q,
+                            PortClosedError(
+                                f"vertex {v!r} left the protocol signature"
+                            ),
+                        )
+                        continue
+                    for op in q:
+                        op.vertex = nv
+                    new_map[nv] = q  # reuse the deque: see docstring
+            self._closed_vertices = {
+                vertex_map[v] for v in self._closed_vertices if v in vertex_map
+            }
+            self._vertex_errors = {
+                vertex_map[v]: e
+                for v, e in self._vertex_errors.items()
+                if v in vertex_map
+            }
+            self._peer_failures.clear()
+            for party in self._parties.values():
+                party.vertices = {
+                    vertex_map[v] for v in party.vertices if v in vertex_map
+                }
+            if self.expected_parties is not None:
+                self.expected_parties = max(
+                    0, self.expected_parties - expected_delta
+                )
+            self._party_gen += 1
+            self._suspect = None
+            self._plans.clear()
+            self._owner = {}
+            for r in self.regions:
+                for v in r.vertices:
+                    self._owner[v] = r
+            self._drain()
             self._cond.notify_all()
 
     # ------------------------------------------------------------ internals

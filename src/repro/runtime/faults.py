@@ -18,7 +18,15 @@ Fault kinds (``FaultSpec.kind``):
   dying task; under :class:`~repro.runtime.tasks.SupervisedTaskGroup` the
   peers must observe :class:`~repro.util.errors.PeerFailedError`);
 * ``"close"`` — close the underlying port, then attempt the operation
-  (which raises :class:`~repro.util.errors.PortClosedError`).
+  (which raises :class:`~repro.util.errors.PortClosedError`);
+* ``"crash_then_recover"`` — like ``"crash"``, but the raised
+  :class:`InjectedFault` is marked *recoverable*: under a
+  :class:`~repro.runtime.recovery.RestartPolicy` whose ``restart_on``
+  includes :class:`InjectedFault`, supervision relaunches the task and the
+  protocol completes as if uninterrupted (the fault slot is consumed, so
+  the relaunched run sails past it).  Not drawn by :meth:`FaultPlan.random`
+  under the default ``kinds`` — pass it explicitly — so existing seeded
+  plans keep their exact schedules.
 
 Usage::
 
@@ -39,15 +47,28 @@ from dataclasses import dataclass
 from repro.util.errors import ReproError
 
 #: Injectable fault kinds, in the order ``FaultPlan.random`` draws from.
+#: Deliberately unchanged since PR 1: seeded plans built over these four
+#: kinds must keep their exact schedules.
 KINDS = ("delay", "drop", "crash", "close")
+
+#: Every valid ``FaultSpec.kind`` — ``KINDS`` plus the recoverable crash,
+#: which tests opt into explicitly (``kinds=("delay", "crash_then_recover")``).
+ALL_KINDS = KINDS + ("crash_then_recover",)
 
 
 class InjectedFault(ReproError):
-    """Raised inside a task by a ``"crash"`` fault (and nothing else)."""
+    """Raised inside a task by a ``"crash"`` or ``"crash_then_recover"``
+    fault (and nothing else)."""
 
     def __init__(self, spec: "FaultSpec"):
         self.spec = spec
         super().__init__(f"injected fault: {spec}")
+
+    @property
+    def recoverable(self) -> bool:
+        """True when the plan intends this crash to be healed by a restart
+        (kind ``"crash_then_recover"``) rather than propagated to peers."""
+        return self.spec.kind == "crash_then_recover"
 
 
 @dataclass(frozen=True)
@@ -61,8 +82,10 @@ class FaultSpec:
     delay: float = 0.0
 
     def __post_init__(self):
-        if self.kind not in KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if self.kind not in ALL_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {ALL_KINDS}"
+            )
         if self.at_op < 1:
             raise ValueError(f"at_op is 1-based, got {self.at_op}")
 
@@ -119,6 +142,11 @@ class FaultPlan:
     def specs(self) -> list[FaultSpec]:
         return [s for ops in self._by_port.values() for s in ops.values()]
 
+    def applied_of(self, *kinds: str) -> list[FaultSpec]:
+        """The applied specs of the given kind(s), in injection order."""
+        with self._lock:
+            return [s for s in self.applied if s.kind in kinds]
+
     def _lookup(self, port_name: str, op_index: int) -> FaultSpec | None:
         return self._by_port.get(port_name, {}).get(op_index)
 
@@ -170,7 +198,7 @@ class _FaultyPort:
         if spec.kind == "delay":
             time.sleep(spec.delay)
             return None
-        if spec.kind == "crash":
+        if spec.kind in ("crash", "crash_then_recover"):
             raise InjectedFault(spec)
         if spec.kind == "close":
             self._port.close()
@@ -203,3 +231,32 @@ class FaultyInport(_FaultyPort):
         if self._pre(self._next_fault()) == "drop":
             ok, _ = self._port.try_recv()  # swallow (if anything is there)
         return self._port.try_recv()
+
+
+def assert_recovered(plan: FaultPlan, records) -> None:
+    """Recovery-aware plan assertion: every injected ``crash_then_recover``
+    was absorbed by supervision instead of reaching the program.
+
+    ``records`` are the :class:`~repro.runtime.tasks.SupervisedTask`\\ s of
+    the run (the objects ``SupervisedTaskGroup.spawn`` returned).  Asserts:
+
+    * no task ended with an unabsorbed exception (each either succeeded or
+      departed via re-parametrization);
+    * the tasks were restarted exactly once per applied recoverable crash —
+      neither fewer (a crash leaked) nor more (a restart loop).
+
+    Call after the group has exited (all records joined).
+    """
+    recoverable = plan.applied_of("crash_then_recover")
+    failed = [
+        r.name for r in records if r.exception is not None and not r.departed
+    ]
+    assert not failed, (
+        f"plan {plan.name}: tasks {failed} failed permanently despite "
+        f"recoverable-crash plan {plan!r}"
+    )
+    restarts = sum(r.restarts for r in records)
+    assert restarts == len(recoverable), (
+        f"plan {plan.name}: {len(recoverable)} recoverable crashes applied "
+        f"but {restarts} restarts happened"
+    )

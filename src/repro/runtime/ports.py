@@ -30,6 +30,7 @@ class _Port:
     def __init__(self, name: str = ""):
         self.name = name or f"port{next(_port_ids)}"
         self._engine = None
+        self._connector = None  # set by RuntimeConnector.connect (for leave())
         self._vertex: str | None = None
         self._closed = False
         self._lock = threading.Lock()
@@ -60,6 +61,25 @@ class _Port:
         if self._closed:
             raise PortClosedError(f"port {self.name!r} is closed")
         return engine, vertex
+
+    def _rebind_vertex(self, vertex: str) -> None:
+        """Point this port at a renamed boundary vertex (re-parametrization:
+        the engine object survives, only the vertex names shift)."""
+        with self._lock:
+            self._vertex = vertex
+
+    def _detach(self) -> None:
+        """Remove this port from its protocol *without* poisoning peers.
+
+        Used for permanent departures (``RuntimeConnector.leave``): the
+        port becomes unusable (as if closed) and its party registration is
+        dropped, but — unlike :meth:`close` — the engine-side vertex is not
+        failed, because re-parametrization is about to delete that vertex
+        entirely.
+        """
+        with self._lock:
+            self._closed = True
+        self.release_owner()
 
     @property
     def connected(self) -> bool:

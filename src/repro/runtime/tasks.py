@@ -13,14 +13,26 @@ exception its ports are closed with a
 :class:`~repro.util.errors.PeerFailedError` naming the dead task — so peers
 blocked on the protocol fail fast instead of hanging until a wall-clock
 timeout.
+
+With a :class:`~repro.runtime.recovery.RestartPolicy`, supervision goes one
+step further — from failing fast to *healing*: a crashed task is relaunched
+(bounded retries, seeded exponential backoff) while its ports stay bound
+and its party registration stays live, so peers simply block until the
+replacement resumes the protocol.  Only when the restart budget is
+exhausted does the crash become permanent — and then, with
+``on_departure="reparametrize"``, the group removes the dead party from its
+connectors at run time (:meth:`RuntimeConnector.leave`) instead of
+poisoning the survivors.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Iterable
 
-from repro.util.errors import PeerFailedError
+from repro.runtime.recovery import RestartPolicy
+from repro.util.errors import PeerFailedError, ReproError
 
 #: Bound on joining spawned tasks when a ``with TaskGroup()`` body raised
 #: (used when the group has no explicit ``join_timeout``).
@@ -147,6 +159,84 @@ class TaskGroup:
                 exc.add_note(f"while handling this exception, joining a task failed: {s!r}")
 
 
+class SupervisedTask:
+    """One *logical* task under supervision.
+
+    Unlike a :class:`TaskHandle` (one thread, one run), a supervised task's
+    identity is stable across restarts: it is the party key registered on
+    the connector engines, so a relaunched run inherits the dead run's
+    ports, party registration, and place in deadlock detection.  The
+    current run's handle is in ``handle``; ``restarts`` counts relaunches;
+    ``join`` waits for the *terminal* outcome (success, permanent failure,
+    or departure), not for any individual thread.
+    """
+
+    def __init__(self, group: "SupervisedTaskGroup", fn: Callable, args: tuple,
+                 kwargs: dict, name: str, ports: tuple):
+        self.group = group
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.name = name
+        self.ports = ports
+        self.restarts = 0
+        self.handle: TaskHandle | None = None
+        self.result = None
+        self.exception: BaseException | None = None
+        #: True when the task failed permanently but the failure was
+        #: absorbed by re-parametrization (the protocol shrank instead of
+        #: poisoning peers); ``join`` then returns instead of raising.
+        self.departed = False
+        self._done = threading.Event()
+
+    # -- TaskHandle-compatible surface --------------------------------------
+
+    @property
+    def thread(self) -> threading.Thread:
+        return self.handle.thread
+
+    @property
+    def alive(self) -> bool:
+        """True until the task reaches a terminal outcome — including
+        while a crashed run waits out its restart backoff."""
+        return not self._done.is_set()
+
+    def join(self, timeout: float | None = None):
+        """Wait for the terminal outcome; re-raise a permanent failure
+        (unless it was absorbed as a departure); return the result."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"task {self.name!r} did not finish in {timeout}s")
+        if self.exception is not None and not self.departed:
+            raise self.exception
+        return self.result
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _launch(self) -> None:
+        self.handle = TaskHandle(
+            self.fn, self.args, self.kwargs, self.name, on_exit=self._run_exited
+        )
+        self.handle.start()
+
+    def _run_exited(self, handle: TaskHandle) -> None:
+        try:
+            self.group._task_exited(self, handle)
+        except BaseException as exc:  # noqa: BLE001 - supervision must not hang peers
+            if self.exception is None:
+                self.exception = handle.exception or exc
+            for p in self.ports:
+                try:
+                    p.fail(PeerFailedError(self.name, self.exception))
+                except Exception:  # noqa: BLE001
+                    pass
+            self._done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self._done.is_set() else "running"
+        extra = f", {self.restarts} restarts" if self.restarts else ""
+        return f"<SupervisedTask {self.name} ({state}{extra})>"
+
+
 class SupervisedTaskGroup(TaskGroup):
     """A TaskGroup with crash propagation through the coordination layer.
 
@@ -156,9 +246,20 @@ class SupervisedTaskGroup(TaskGroup):
       to, arming precise deadlock detection (no ``expected_parties``
       needed) — a genuine all-parties-blocked state raises
       :class:`~repro.util.errors.DeadlockError` with a diagnostic dump;
-    * on **crash**, closes the dead task's ports with a
-      :class:`PeerFailedError` carrying the task name and exception, so
-      peers blocked on the connector fail fast;
+    * on **crash**, consults ``restart_policy``: while the retry budget
+      lasts, the task is relaunched after a seeded exponential backoff with
+      its ports and party registration intact — peers keep blocking, no
+      error propagates;
+    * on **permanent failure** (no policy, budget exhausted, or a
+      non-retryable exception): with ``on_departure="fail"`` (default) the
+      dead task's ports are closed with a :class:`PeerFailedError` carrying
+      the task name and exception, so peers fail fast; with
+      ``on_departure="reparametrize"`` the group instead removes the dead
+      party from its connectors at run time (``RuntimeConnector.leave``),
+      letting the protocol degrade from ``n`` to ``n−1`` parties — the
+      failure is recorded in ``self.departures`` and ``join`` does *not*
+      re-raise it (falling back to failing the ports when the connector
+      cannot re-parametrize);
     * on **normal exit**, unregisters the party (closing the ports too when
       ``close_ports_on_exit=True``), so peers waiting forever on an exited
       task are detected instead of hanging.
@@ -167,43 +268,115 @@ class SupervisedTaskGroup(TaskGroup):
     declared via ``expected_parties``); an undeclared participant can make
     the registered set look complete and trigger a premature detection.
 
-    >>> with SupervisedTaskGroup() as g:
+    >>> with SupervisedTaskGroup(restart_policy=RestartPolicy(max_retries=2)) as g:
     ...     g.spawn(producer, out, ports=[out])
     ...     g.spawn(consumer, inp, ports=[inp])
     """
 
-    def __init__(self, join_timeout: float | None = None, close_ports_on_exit: bool = False):
+    def __init__(
+        self,
+        join_timeout: float | None = None,
+        close_ports_on_exit: bool = False,
+        restart_policy: RestartPolicy | None = None,
+        on_departure: str = "fail",
+    ):
         super().__init__(join_timeout)
+        if on_departure not in ("fail", "reparametrize"):
+            raise ValueError(
+                f"on_departure must be 'fail' or 'reparametrize', "
+                f"not {on_departure!r}"
+            )
         self.close_ports_on_exit = close_ports_on_exit
-        self._ports: dict[TaskHandle, tuple] = {}
+        self.restart_policy = restart_policy
+        self.on_departure = on_departure
+        self.departures: list = []  # DepartureReports, in failure order
+        self._shutdown = False
 
     def spawn(
         self, fn: Callable, *args, ports: Iterable = (), name: str = "", **kwargs
-    ) -> TaskHandle:
-        h = TaskHandle(fn, args, kwargs, name or fn.__name__, on_exit=self._task_exited)
-        self._ports[h] = tuple(ports)
-        for p in self._ports[h]:
-            p.set_owner(h, name=h.name)
-        self.handles.append(h)
-        return h.start()
+    ) -> SupervisedTask:
+        record = SupervisedTask(
+            self, fn, args, kwargs, name or fn.__name__, tuple(ports)
+        )
+        for p in record.ports:
+            p.set_owner(record, name=record.name)
+        self.handles.append(record)
+        record._launch()
+        return record
 
-    def _task_exited(self, handle: TaskHandle) -> None:
-        for p in self._ports.get(handle, ()):
-            if handle.exception is not None:
-                p.fail(PeerFailedError(handle.name, handle.exception))
-            elif self.close_ports_on_exit:
-                p.close()
+    # -- exit hooks (run on the exiting task's own thread) -------------------
+
+    def _task_exited(self, record: SupervisedTask, handle: TaskHandle) -> None:
+        exc = handle.exception
+        if exc is None:
+            record.result = handle.result
+            for p in record.ports:
+                if self.close_ports_on_exit:
+                    p.close()
+                else:
+                    p.release_owner()
+            record._done.set()
+            return
+        policy = self.restart_policy
+        attempt = record.restarts + 1
+        if (
+            policy is not None
+            and not self._shutdown
+            and policy.should_restart(exc, attempt)
+        ):
+            record.restarts = attempt
+            time.sleep(policy.delay(record.name, attempt))
+            if not self._shutdown:
+                record._launch()
+                return
+        self._permanent_failure(record, exc)
+
+    def _permanent_failure(self, record: SupervisedTask, exc: BaseException) -> None:
+        record.exception = exc
+        if self.on_departure == "reparametrize" and self._reparametrize(record, exc):
+            record.departed = True
+        else:
+            err = PeerFailedError(record.name, exc)
+            for p in record.ports:
+                p.fail(err)
+        record._done.set()
+
+    def _reparametrize(self, record: SupervisedTask, exc: BaseException) -> bool:
+        """Remove the dead party from its connector(s); True when every
+        connector accepted the departure (the failure is then absorbed)."""
+        by_conn: dict[int, tuple] = {}
+        for p in record.ports:
+            conn = getattr(p, "_connector", None)
+            if conn is None or not hasattr(conn, "leave"):
+                return False
+            by_conn.setdefault(id(conn), (conn, []))[1].append(p)
+        if not by_conn:
+            return False
+        ok = True
+        for conn, ports in by_conn.values():
+            try:
+                report = conn.leave(*ports, task=record.name, cause=exc)
+            except ReproError:
+                # This connector cannot shrink (graph-built, scalar party,
+                # last array element, …): poison its ports the classic way.
+                err = PeerFailedError(record.name, exc)
+                for p in ports:
+                    p.fail(err)
+                ok = False
             else:
-                p.release_owner()
+                self.departures.append(report)
+        return ok
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is not None:
-            # Orchestration itself failed: release still-running tasks from
-            # their blocking operations so the bounded join below is quick.
+            # Orchestration itself failed: stop restarting, and release
+            # still-running tasks from their blocking operations so the
+            # bounded join below is quick.
+            self._shutdown = True
             err = PeerFailedError("<group body>", exc)
-            for h, ports in self._ports.items():
-                if h.alive:
-                    for p in ports:
+            for record in self.handles:
+                if record.alive:
+                    for p in record.ports:
                         p.fail(err)
         super().__exit__(exc_type, exc, tb)
 

@@ -81,6 +81,19 @@ class TraceRecorder:
                 self._events.pop(0)
                 self.dropped += 1
 
+    def clear(self) -> None:
+        """Forget all recorded events and restart sequence numbering.
+
+        Called by checkpoint *restore*: steps a fresh connector fired while
+        reaching its own initial state (constructor drains) predate the
+        restored protocol state and would pollute trace-equivalence
+        comparisons.
+        """
+        with self._lock:
+            self._events.clear()
+            self._counter = itertools.count()
+            self.dropped = 0
+
     # -- querying -------------------------------------------------------------
 
     @property

@@ -87,6 +87,17 @@ class PortClosedError(RuntimeProtocolError):
     """Raised by send/recv on a closed port, and delivered to blocked peers."""
 
 
+class CheckpointError(RuntimeProtocolError):
+    """Raised when a protocol checkpoint cannot be taken or restored.
+
+    Checkpoints are only meaningful at *quiescent points* — no pending
+    operations, no blocked parties, no closed vertices — and only between
+    structurally compatible connector instances (same regions, same buffer
+    signature).  Violating either constraint raises this error instead of
+    silently corrupting protocol state.
+    """
+
+
 class ProtocolTimeoutError(RuntimeProtocolError, TimeoutError):
     """Raised when a blocking send/recv exceeds its timeout.
 

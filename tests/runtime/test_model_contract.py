@@ -1,0 +1,174 @@
+"""One failure contract across both programming models.
+
+The generalized model (ports + connector) and the basic model
+(:mod:`repro.runtime.channels`) expose the same task-facing API, so a task
+written against one can be re-wired to the other.  This file pins the
+contract: for every observable failure mode, both models raise the *same*
+error types — timeouts, closed ports, peer crashes, and the normalized
+``(completed, value)`` form of ``try_recv``.
+
+Each case builds a 1-producer/1-consumer pipe in both models: a compiled
+``Fifo1`` connector and a basic channel.
+"""
+
+import time
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.runtime.channels import ChannelInport, ChannelOutport, channel
+from repro.runtime.ports import mkports
+from repro.runtime.tasks import SupervisedTaskGroup
+from repro.util.errors import (
+    PeerFailedError,
+    PortClosedError,
+    ProtocolTimeoutError,
+    RuntimeProtocolError,
+)
+
+MODELS = ("ports", "channels")
+
+
+def make_pipe(model, **options):
+    """A connected (outport, inport, closer) triple in the given model."""
+    if model == "ports":
+        conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector(
+            "P", **options
+        )
+        outs, ins = mkports(1, 1)
+        conn.connect(outs, ins)
+        return outs[0], ins[0], conn.close
+    out, inp = channel()
+    return out, inp, lambda: None
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_send_recv_roundtrip(model):
+    out, inp, close = make_pipe(model)
+    out.send("x")
+    assert inp.recv() == "x"
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_recv_timeout_raises_protocol_timeout(model):
+    out, inp, close = make_pipe(model)
+    with pytest.raises(ProtocolTimeoutError) as exc_info:
+        inp.recv(timeout=0.05)
+    assert isinstance(exc_info.value, TimeoutError)  # generic handlers work
+    # The pipe is still usable after a timeout (the op was withdrawn).
+    out.send("late")
+    assert inp.recv(timeout=5.0) == "late"
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_try_recv_normalized_form(model):
+    out, inp, close = make_pipe(model)
+    assert inp.try_recv() == (False, None)
+    out.send(41)
+    ok, value = inp.try_recv()
+    assert (ok, value) == (True, 41)
+    assert inp.try_recv() == (False, None)
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_try_send(model):
+    out, inp, close = make_pipe(model)
+    assert out.try_send("v") is True  # one free buffer slot in both models
+    assert inp.recv() == "v"
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_unconnected_port_raises_runtime_protocol_error(model):
+    if model == "ports":
+        out, inp = mkports(1, 1)
+        out, inp = out[0], inp[0]
+    else:
+        out, inp = ChannelOutport("o"), ChannelInport("i")
+    with pytest.raises(RuntimeProtocolError):
+        out.send(1)
+    with pytest.raises(RuntimeProtocolError):
+        inp.recv()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_send_after_close_raises_port_closed(model):
+    out, inp, close = make_pipe(model)
+    out.close()
+    with pytest.raises(PortClosedError):
+        out.send(1)
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_closed_pipe_surfaces_to_receiver(model):
+    """Receiving from a pipe whose transport was shut down raises
+    PortClosedError in both models (connector close vs. sender-side
+    channel close — each model's way of ending the conversation)."""
+    out, inp, close = make_pipe(model)
+    if model == "ports":
+        close()
+    else:
+        out.close()
+    with pytest.raises(PortClosedError):
+        inp.recv(timeout=5.0)
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_close_with_cause_delivers_that_cause(model):
+    """A port failed *with a cause* delivers that cause to the blocked
+    peer — through party-registration + detection in the connector model,
+    through the channel itself in the basic model."""
+    import threading
+
+    out, inp, close = make_pipe(model, detection_grace=0.01)
+    out.set_owner(object(), name="sender")
+    inp.set_owner(object(), name="receiver")
+    observed = []
+
+    def receive():
+        try:
+            inp.recv(timeout=10.0)
+        except Exception as exc:  # noqa: BLE001 - asserted below
+            observed.append(exc)
+
+    t = threading.Thread(target=receive)
+    t.start()
+    time.sleep(0.05)
+    out.fail(PeerFailedError("sender", RuntimeError("boom")))
+    t.join(15.0)
+    assert not t.is_alive()
+    assert len(observed) == 1 and isinstance(observed[0], PeerFailedError)
+    assert observed[0].task == "sender"
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_supervised_crash_propagates_as_peer_failure(model):
+    """The same supervised program observes the same error type in both
+    models when a peer task dies: PeerFailedError naming the dead task."""
+    out, inp, close = make_pipe(model, detection_grace=0.01)
+    observed = []
+
+    def consumer():
+        try:
+            while True:
+                inp.recv(timeout=10.0)
+        except PeerFailedError as exc:
+            observed.append(exc)
+
+    def crasher():
+        raise RuntimeError("worker died")
+
+    with pytest.raises(RuntimeError, match="worker died"):
+        with SupervisedTaskGroup() as g:
+            g.spawn(consumer, ports=[inp], name="consumer")
+            g.spawn(crasher, ports=[out], name="worker")
+    close()
+    assert len(observed) == 1
+    assert observed[0].task == "worker"
+    assert isinstance(observed[0].cause, RuntimeError)
