@@ -1,0 +1,157 @@
+"""A work farm that survives being overloaded — in three acts.
+
+Act 1 — *shed, and account for it*: a producer floods a bounded two-worker
+farm at several times its service capacity.  A ``shed_newest`` overload
+policy on the intake keeps the producer live (sends never park); every job
+the farm cannot take is captured in the dead-letter buffer, and the books
+balance exactly: delivered + shed == submitted.
+
+Act 2 — *flag the laggard*: one of two producers turns pathologically slow
+(an injected ``slow_task`` fault).  Nothing is deadlocked — the other
+producer keeps the protocol firing — so the deadlock detector stays silent;
+the :class:`~repro.runtime.watchdog.Watchdog` is what notices, and with
+``escalate=True`` it quarantines the laggard through the supervision
+group's re-parametrization path.  The farm continues at arity n-1.
+
+Act 3 — *drain, then close*: shutting down by ``drain()`` refuses new
+sends, flushes every value still buffered in the protocol to its consumer,
+and only then closes the ports — no message left behind.
+
+Run:  python examples/overload_shedding_farm.py
+"""
+
+import threading
+import time
+
+from repro.connectors import library
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.overload import OverloadPolicy
+from repro.runtime.ports import mkports
+from repro.runtime.tasks import SupervisedTaskGroup
+from repro.runtime.watchdog import Watchdog
+from repro.util.errors import PortClosedError, ProtocolTimeoutError
+
+OP_TIMEOUT = 5.0
+
+
+def act1_shedding(n_jobs: int = 100, n_workers: int = 2) -> None:
+    route = library.connector(
+        "EarlyAsyncRouter",
+        n_workers,
+        overload=OverloadPolicy("shed_newest", max_pending=0),
+        default_timeout=OP_TIMEOUT,
+    )
+    (job_out,), _ = mkports(1, 0)
+    _, worker_ins = mkports(0, n_workers)
+    route.connect([job_out], worker_ins)
+
+    done: list = []
+
+    def worker(rank: int):
+        try:
+            while True:
+                done.append(worker_ins[rank].recv())
+                time.sleep(0.002)  # bounded service rate — overload is real
+        except PortClosedError:
+            return
+
+    threads = [
+        threading.Thread(target=worker, args=(r,)) for r in range(n_workers)
+    ]
+    for t in threads:
+        t.start()
+    for job in range(n_jobs):
+        job_out.send(job)  # never blocks: the policy sheds instead
+    route.drain(timeout=OP_TIMEOUT)
+    for t in threads:
+        t.join()
+
+    shed = route.shed_count()
+    assert len(done) + shed == n_jobs  # exact dead-letter accounting
+    print(
+        f"act 1: submitted {n_jobs}, delivered {len(done)}, shed {shed} "
+        f"(first dead letters: "
+        f"{[l.value for l in route.dead_letters()[:3]]}...)"
+    )
+
+
+def act2_watchdog(n_fast: int = 150) -> None:
+    gather = library.connector("EarlyAsyncMerger", 2, default_timeout=OP_TIMEOUT)
+    outs, (result_in,) = mkports(2, 1)
+    gather.connect(outs, [result_in])
+
+    # From its 2nd send onward the slow producer crawls: 5s per operation.
+    plan = FaultPlan([FaultSpec("slow_task", outs[1].name, at_op=2, delay=5.0)])
+    slow_out = plan.wrap(outs[1])
+
+    collected: list = []
+    group = SupervisedTaskGroup(join_timeout=30.0, on_departure="reparametrize")
+
+    def fast_producer():
+        for i in range(n_fast):
+            outs[0].send(("fast", i))
+            time.sleep(0.001)
+
+    def slow_producer():
+        for i in range(10):
+            slow_out.send(("slow", i))
+
+    def consumer():
+        try:
+            while True:
+                collected.append(result_in.recv(timeout=2.0))
+        except (PortClosedError, ProtocolTimeoutError):
+            return
+
+    fast = group.spawn(fast_producer, ports=[outs[0]], name="fast")
+    slow = group.spawn(slow_producer, ports=[outs[1]], name="slow")
+    cons = group.spawn(consumer, ports=[result_in], name="consumer")
+
+    with Watchdog(
+        [gather], probe_interval=0.05, stall_after=0.3, group=group,
+        escalate=True,
+    ) as dog:
+        fast.join(30.0)
+        deadline = time.monotonic() + 10.0
+        while not dog.reports and time.monotonic() < deadline:
+            time.sleep(0.01)
+    report = dog.reports[0]
+    assert report.task == "slow" and slow.departed
+    gather.close()
+    cons.join(30.0)
+    n_fast_done = len([v for v in collected if v[0] == "fast"])
+    print(
+        f"act 2: watchdog flagged {report} → quarantined; "
+        f"peers delivered {n_fast_done}/{n_fast} undisturbed"
+    )
+
+
+def act3_drain() -> None:
+    conn = library.connector("FifoChain", 3, default_timeout=OP_TIMEOUT)
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    for v in ("x", "y", "z"):
+        outs[0].send(v)  # three values parked inside the protocol
+
+    got: list = []
+
+    def consumer():
+        try:
+            while True:
+                got.append(ins[0].recv(timeout=2.0))
+        except PortClosedError:
+            return
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    conn.drain(timeout=OP_TIMEOUT)  # refuse new sends, flush, then close
+    t.join()
+    assert got == ["x", "y", "z"]
+    print(f"act 3: drain flushed {got} before closing — nothing lost")
+
+
+if __name__ == "__main__":
+    act1_shedding()
+    act2_watchdog()
+    act3_drain()
+    print("ok")

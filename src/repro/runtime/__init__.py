@@ -14,6 +14,7 @@ involved; if not, the operations remain pending and the tasks blocked.
 """
 
 from repro.runtime.buffers import BufferStore
+from repro.runtime.overload import DeadLetter, DeadLetterBuffer, OverloadPolicy
 from repro.runtime.ports import Inport, Outport, mkports
 from repro.runtime.engine import CoordinatorEngine
 from repro.runtime.connector import Connector, RuntimeConnector
@@ -26,8 +27,9 @@ from repro.runtime.tasks import (
     spawn,
 )
 from repro.runtime.trace import TraceEvent, TraceRecorder
-from repro.runtime.channels import Channel, ChannelInport, ChannelOutport
+from repro.runtime.channels import Channel, ChannelInport, ChannelOutport, channel
 from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFault, assert_recovered
+from repro.runtime.watchdog import StallReport, Watchdog
 
 __all__ = [
     "BufferStore",
@@ -50,8 +52,14 @@ __all__ = [
     "Channel",
     "ChannelInport",
     "ChannelOutport",
+    "channel",
+    "DeadLetter",
+    "DeadLetterBuffer",
+    "OverloadPolicy",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
     "assert_recovered",
+    "StallReport",
+    "Watchdog",
 ]

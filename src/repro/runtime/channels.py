@@ -1,18 +1,19 @@
 """The *basic* Foster–Chandy model (paper §II, Figs. 1–2) — the baseline.
 
-A :class:`Channel` connects exactly one outport to one inport through an
-unbounded buffer; sends are non-blocking, receives block until a message is
-available.  This is the model the paper generalizes, kept here (a) as the
-baseline programming model for comparisons and tests (Ex. 2 is implemented
-with it), and (b) as the communication substrate of the *original* NPB
-variants (§V.C), which use hand-written synchronization.
+A :class:`Channel` connects exactly one outport to one inport through a
+buffer; sends are non-blocking by default (the buffer is unbounded),
+receives block until a message is available.  This is the model the paper
+generalizes, kept here (a) as the baseline programming model for
+comparisons and tests (Ex. 2 is implemented with it), and (b) as the
+communication substrate of the *original* NPB variants (§V.C), which use
+hand-written synchronization.
 
 Fault tolerance mirrors the connector-port API so the two models satisfy
 one contract (``tests/runtime/test_model_contract.py``):
 
 * ``recv(timeout=...)`` raises :class:`~repro.util.errors.ProtocolTimeoutError`
-  instead of blocking forever (``send`` accepts ``timeout=`` for symmetry
-  but never needs it — the buffer is unbounded);
+  instead of blocking forever (``send`` accepts ``timeout=`` for symmetry;
+  it only matters on a *bounded* channel under the ``block`` policy);
 * ``try_send``/``try_recv`` are the non-blocking forms, ``try_recv``
   returning the normalized ``(completed, value)`` pair;
 * ``close(error=...)``/``fail(error)`` close *with a cause*: a peer blocked
@@ -22,14 +23,31 @@ one contract (``tests/runtime/test_model_contract.py``):
 * ``set_owner``/``release_owner`` record the owning task (accepted for
   API parity with connector ports; the basic model has no engine to
   register parties on, so there is no deadlock detection here).
+
+Overload mirrors the connector model too (strictly opt-in): ``capacity``
+bounds the buffer, and an :class:`~repro.runtime.overload.OverloadPolicy`
+decides what a send does against a full buffer — ``block`` (wait for room,
+honouring ``timeout``), ``fail_fast`` (:class:`OverloadError`), or
+``shed_newest``/``shed_oldest`` with every shed value captured in the
+channel's dead-letter buffer (:meth:`Channel.dead_letters`).  The buffer
+bound plays the role the pending-op bound plays on connectors: it is the
+amount of traffic the channel absorbs before the policy kicks in.
 """
 
 from __future__ import annotations
 
 import itertools
-import queue
+import threading
+import time
+from collections import deque
 
-from repro.util.errors import PortClosedError, ProtocolTimeoutError
+from repro.runtime.overload import DeadLetterBuffer, OverloadPolicy
+from repro.util.errors import (
+    OverloadError,
+    PortClosedError,
+    ProtocolTimeoutError,
+    RuntimeProtocolError,
+)
 
 _channel_ids = itertools.count()
 
@@ -43,12 +61,132 @@ class _Closed:
         self.error = error
 
 
+class _Empty(Exception):
+    """Internal: a non-blocking get found no message."""
+
+
+class _Pipe:
+    """The shared buffer between the two ends of one channel.
+
+    A deque under a condition variable (the stdlib ``SimpleQueue`` cannot
+    express a capacity bound, let alone a shed policy).  ``capacity=None``
+    is the classic unbounded channel; with a capacity, the overload
+    ``policy`` decides what a send does against a full buffer.  The close
+    sentinel always bypasses the bound — closing must never block or shed.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        policy: OverloadPolicy | None = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise RuntimeProtocolError("channel capacity must be >= 1")
+        if policy is not None and policy.kind != "block" and capacity is None:
+            raise RuntimeProtocolError(
+                f"policy {policy.kind!r} needs a bounded channel: pass "
+                "capacity= (an unbounded buffer can never overflow)"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.dead = DeadLetterBuffer()
+        self._q: deque = deque()
+        self._cond = threading.Condition()
+        self._ops = 0  # completed puts+gets: the channel's "step" count
+
+    def _full(self) -> bool:
+        return self.capacity is not None and len(self._q) >= self.capacity
+
+    def put(self, value, vertex: str, timeout: float | None = None) -> None:
+        with self._cond:
+            if self._full():
+                pol = self.policy
+                if pol is None or pol.kind == "block":
+                    deadline = (
+                        None if timeout is None else time.monotonic() + timeout
+                    )
+                    while self._full():
+                        remaining = None
+                        if deadline is not None:
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                raise ProtocolTimeoutError(
+                                    vertex, timeout, kind="send"
+                                )
+                        self._cond.wait(remaining)
+                elif pol.kind == "fail_fast":
+                    raise OverloadError(
+                        vertex,
+                        self.capacity,
+                        message=(
+                            f"channel {vertex!r} overloaded: buffer full at "
+                            f"capacity {self.capacity} (fail_fast policy)"
+                        ),
+                    )
+                elif pol.kind == "shed_newest":
+                    self.dead.capture(
+                        vertex, value, pol.kind, self._ops,
+                        pol.dead_letter_capacity,
+                    )
+                    return
+                else:  # shed_oldest
+                    victim = self._q.popleft()
+                    if isinstance(victim, _Closed):
+                        # Never shed the close sentinel; the append below
+                        # lands behind it and is unreachable anyway.
+                        self._q.appendleft(victim)
+                    else:
+                        self.dead.capture(
+                            vertex, victim, pol.kind, self._ops,
+                            pol.dead_letter_capacity,
+                        )
+            self._q.append(value)
+            self._ops += 1
+            self._cond.notify_all()
+
+    def put_sentinel(self, sentinel: _Closed) -> None:
+        with self._cond:
+            self._q.append(sentinel)
+            self._cond.notify_all()
+
+    def get(self, timeout: float | None = None):
+        with self._cond:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._q:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise _Empty
+                self._cond.wait(remaining)
+            value = self._q.popleft()
+            if isinstance(value, _Closed):
+                # Leave the sentinel for the next receiver too.
+                self._q.appendleft(value)
+            else:
+                self._ops += 1
+            self._cond.notify_all()
+            return value
+
+    def get_nowait(self):
+        with self._cond:
+            if not self._q:
+                raise _Empty
+            value = self._q.popleft()
+            if isinstance(value, _Closed):
+                self._q.appendleft(value)
+            else:
+                self._ops += 1
+            self._cond.notify_all()
+            return value
+
+
 class _ChannelPort:
     """Common state of the two channel ends."""
 
     def __init__(self, name: str = ""):
         self.name = name or f"ch{next(_channel_ids)}"
-        self._queue: queue.SimpleQueue | None = None
+        self._queue: _Pipe | None = None
         self._closed = False
         self._error: Exception | None = None
         self._owner = None
@@ -78,6 +216,17 @@ class _ChannelPort:
         :class:`PortClosedError`."""
         self.close(error=error)
 
+    def dead_letters(self, vertex: str | None = None):
+        """Shed values captured by this channel's overload policy."""
+        if self._queue is None:
+            return ()
+        dead = self._queue.dead
+        return dead.of(vertex) if vertex is not None else dead.all()
+
+    def shed_count(self, vertex: str | None = None) -> int:
+        """Exact number of values this channel ever shed."""
+        return self._queue.dead.count(vertex) if self._queue is not None else 0
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -92,22 +241,39 @@ class _ChannelPort:
 
 
 class ChannelOutport(_ChannelPort):
-    """Sending end of a basic channel: ``send`` never blocks (§II)."""
+    """Sending end of a basic channel: on the classic unbounded channel
+    ``send`` never blocks (§II); on a bounded one, the channel's overload
+    policy governs what happens against a full buffer."""
 
-    def send(self, value, timeout: float | None = None) -> None:
-        """Send ``value``; the buffer is unbounded, so this completes
-        immediately (``timeout`` is accepted for API symmetry with
-        connector outports and never expires)."""
-        del timeout  # a non-blocking send cannot time out
+    def send(self, value, timeout: float | None = None, policy=None) -> None:
+        """Send ``value``.  ``timeout`` only matters against a full bounded
+        buffer under the ``block`` policy; ``policy`` overrides the
+        channel's configured overload policy for this one operation."""
         if self._closed:
             self._raise_closed("outport")
         if self._queue is None:
             raise PortClosedError(f"outport {self.name!r} not connected")
-        self._queue.put(value)
+        pipe = self._queue
+        if policy is not None:
+            saved, pipe.policy = pipe.policy, policy
+            try:
+                pipe.put(value, self.name, timeout)
+            finally:
+                pipe.policy = saved
+        else:
+            pipe.put(value, self.name, timeout)
 
     def try_send(self, value) -> bool:
-        """Non-blocking send; always completes on an open, connected
-        channel (unbounded buffer)."""
+        """Non-blocking send; ``False`` only when a bounded buffer is full
+        under the ``block`` policy (shed policies count the value as
+        handled — it was captured, exactly as a blocking send would)."""
+        if self._closed:
+            self._raise_closed("outport")
+        if self._queue is None:
+            raise PortClosedError(f"outport {self.name!r} not connected")
+        pipe = self._queue
+        if pipe._full() and (pipe.policy is None or pipe.policy.kind == "block"):
+            return False
         self.send(value)
         return True
 
@@ -116,7 +282,7 @@ class ChannelOutport(_ChannelPort):
             self._closed = True
             self._error = error
             if self._queue is not None:
-                self._queue.put(_Closed(error))
+                self._queue.put_sentinel(_Closed(error))
 
 
 class ChannelInport(_ChannelPort):
@@ -143,7 +309,7 @@ class ChannelInport(_ChannelPort):
         q = self._check_open()
         try:
             value = q.get(timeout=timeout)
-        except queue.Empty:
+        except _Empty:
             raise ProtocolTimeoutError(self.name, timeout, kind="recv") from None
         return self._arrived(value)
 
@@ -153,7 +319,7 @@ class ChannelInport(_ChannelPort):
         q = self._check_open()
         try:
             value = q.get_nowait()
-        except queue.Empty:
+        except _Empty:
             return False, None
         return True, self._arrived(value)
 
@@ -164,18 +330,42 @@ class ChannelInport(_ChannelPort):
 
 
 class Channel:
-    """An unbounded point-to-point channel (paper Fig. 1, ``Channel``)."""
+    """A point-to-point channel (paper Fig. 1, ``Channel``) — unbounded by
+    default; ``capacity``/``policy`` opt into the overload model."""
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        policy: OverloadPolicy | None = None,
+    ):
+        self.capacity = capacity
+        self.policy = policy
+        self._pipe: _Pipe | None = None
 
     def connect(self, out: ChannelOutport, inp: ChannelInport) -> None:
         if out._queue is not None or inp._queue is not None:
             raise PortClosedError("channel port already connected")
-        q: queue.SimpleQueue = queue.SimpleQueue()
-        out._queue = q
-        inp._queue = q
+        self._pipe = _Pipe(self.capacity, self.policy)
+        out._queue = self._pipe
+        inp._queue = self._pipe
+
+    def dead_letters(self, vertex: str | None = None):
+        """Shed values captured by this channel's overload policy."""
+        if self._pipe is None:
+            return ()
+        dead = self._pipe.dead
+        return dead.of(vertex) if vertex is not None else dead.all()
+
+    def shed_count(self, vertex: str | None = None) -> int:
+        """Exact number of values this channel ever shed."""
+        return self._pipe.dead.count(vertex) if self._pipe is not None else 0
 
 
-def channel() -> tuple[ChannelOutport, ChannelInport]:
+def channel(
+    capacity: int | None = None,
+    policy: OverloadPolicy | None = None,
+) -> tuple[ChannelOutport, ChannelInport]:
     """Convenience: a connected (outport, inport) pair."""
     out, inp = ChannelOutport(), ChannelInport()
-    Channel().connect(out, inp)
+    Channel(capacity, policy).connect(out, inp)
     return out, inp

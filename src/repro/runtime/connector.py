@@ -21,11 +21,18 @@ linked to outports/inports), and execution options:
   through this connector (:class:`~repro.util.errors.ProtocolTimeoutError`
   on expiry); per-call ``timeout=`` arguments override it;
 * ``detection_grace`` — confirmation window for registration-based deadlock
-  detection (see :class:`repro.runtime.engine.CoordinatorEngine`).
+  detection (see :class:`repro.runtime.engine.CoordinatorEngine`);
+* ``overload`` — a bare :class:`~repro.runtime.overload.OverloadPolicy`
+  (applied to every source vertex) or a per-vertex dict; the default is the
+  pre-overload ``block`` behaviour.  Shed values are queryable through
+  :meth:`RuntimeConnector.dead_letters` / :meth:`~RuntimeConnector.shed_count`,
+  and :meth:`RuntimeConnector.drain` shuts the instance down gracefully —
+  refuse new sends, flush buffered values, close ports in dependency order.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
@@ -36,8 +43,9 @@ from repro.automata.partition import partition_automata
 from repro.automata.product import merged_buffers, product
 from repro.runtime.buffers import BufferStore
 from repro.runtime.engine import CoordinatorEngine, EagerRegion, LazyRegion
+from repro.runtime.overload import OverloadPolicy
 from repro.runtime.ports import Inport, Outport
-from repro.util.errors import RuntimeProtocolError
+from repro.util.errors import ProtocolTimeoutError, RuntimeProtocolError
 
 
 class Connector(ABC):
@@ -66,6 +74,7 @@ class RuntimeConnector(Connector):
         tracer=None,
         default_timeout: float | None = None,
         detection_grace: float = 0.05,
+        overload: OverloadPolicy | dict[str, OverloadPolicy] | None = None,
         name: str = "",
     ):
         if composition not in ("jit", "aot"):
@@ -83,6 +92,7 @@ class RuntimeConnector(Connector):
         self.tracer = tracer
         self.default_timeout = default_timeout
         self.detection_grace = detection_grace
+        self.overload = overload
         self.name = name
         self.engine: CoordinatorEngine | None = None
 
@@ -143,6 +153,7 @@ class RuntimeConnector(Connector):
             tracer=self.tracer,
             default_timeout=self.default_timeout,
             detection_grace=self.detection_grace,
+            overload=self.overload,
         )
         if self.composition == "aot":
             # The existing approach compiles every transition's firing plan
@@ -244,6 +255,7 @@ class RuntimeConnector(Connector):
             DepartureReport,
             index_name_map,
             migrate_buffers,
+            reconcile_region_states,
         )
 
         engine = self._require_engine()
@@ -284,8 +296,17 @@ class RuntimeConnector(Connector):
                 return None
             return shift(name)
 
+        # The fresh store's occupancy *before* migration is the new token
+        # baseline for drain accounting (migration overwrites it with
+        # carried user data).
+        fresh_occupancy = sum(store.occupancy(n) for n in store.names())
         old_contents = engine.buffers.snapshot()
         _, dropped = migrate_buffers(old_contents, store, name_map)
+        # The fresh regions sit in their initial control states, which for
+        # occupancy-tracking automata cannot see the migrated contents —
+        # move each region to the state the contents imply (values no
+        # control state can account for are dropped-and-reported).
+        dropped.update(reconcile_region_states(regions, store))
 
         # Detach the departing ports first: their party registration leaves
         # the registry before detection re-evaluates against the survivors.
@@ -299,6 +320,7 @@ class RuntimeConnector(Connector):
             sinks,
             vertex_map,
             expected_delta=max(len(owners), 1),
+            initial_occupancy=fresh_occupancy,
         )
         if self.composition == "aot":
             engine.precompile_plans()
@@ -328,6 +350,51 @@ class RuntimeConnector(Connector):
         )
         self.departures.append(report)
         return report
+
+    # ------------------------------------------------------- overload layer
+
+    def dead_letters(self, vertex: str | None = None):
+        """Shed values captured by this connector's overload policies —
+        one vertex's (oldest first), or all in shed order."""
+        return self._require_engine().dead_letters(vertex)
+
+    def shed_count(self, vertex: str | None = None) -> int:
+        """Exact number of values ever shed (per vertex, or total); counts
+        letters the bounded dead-letter buffer has since evicted."""
+        return self._require_engine().shed_count(vertex)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Gracefully shut the connector down.
+
+        Three phases: (1) stop admitting new sends — producers get
+        :class:`~repro.util.errors.PortClosedError` immediately instead of
+        queueing work that will never flow; (2) wait until every admitted
+        send has completed and the buffered-value count is back down to the
+        connector's initial token occupancy (consumers keep receiving
+        throughout, which is what flushes the buffers); (3) close ports in
+        dependency order — outports first (no new data can enter), then
+        inports, then the engine — so blocked consumers see a clean
+        :class:`PortClosedError` rather than a hang.
+
+        Raises :class:`~repro.util.errors.ProtocolTimeoutError` (kind
+        ``"drain"``) when ``timeout`` elapses before the flush completes;
+        the connector is left draining but open, so the caller can retry
+        or force :meth:`close`.
+        """
+        engine = self._require_engine()
+        engine.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not engine.drained:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ProtocolTimeoutError(
+                    self.name or "connector", timeout, kind="drain"
+                )
+            time.sleep(0.002)
+        for port in self._outports:
+            port.close()
+        for port in self._inports:
+            port.close()
+        engine.close()
 
     # ------------------------------------------------------------------
 

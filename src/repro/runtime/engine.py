@@ -34,6 +34,19 @@ precisely — every registered party blocked on a committed operation, engine
 quiescent — without the caller having to pass ``expected_parties``.  When a
 supervised peer crashed, the detection delivers :class:`PeerFailedError`
 (naming the dead task) instead of a bare :class:`DeadlockError`.
+
+Overload protection
+-------------------
+Per-vertex :class:`~repro.runtime.overload.OverloadPolicy` objects bound
+the pending-op deques: ``fail_fast`` rejects an operation that would exceed
+``max_pending`` with :class:`OverloadError`; ``shed_newest``/``shed_oldest``
+drop the newest/oldest queued *send* value into a bounded dead-letter
+buffer (:meth:`dead_letters`) and report success to the submitter.  The
+default (no policy, or kind ``"block"``) is exactly the pre-overload
+behaviour.  :meth:`begin_drain` flips the engine into *draining* mode —
+new sends are refused with :class:`PortClosedError` while receives keep
+flushing buffered values; :attr:`drained` reports when everything user-
+visible has left the protocol (see :meth:`RuntimeConnector.drain`).
 """
 
 from __future__ import annotations
@@ -49,14 +62,17 @@ from repro.automata.constraint import DEFAULT_REGISTRY, FunctionRegistry
 from repro.automata.lazy import LazyProduct
 from repro.automata.simplify import FiringPlan, commandify
 from repro.runtime.buffers import BufferStore
+from repro.runtime.overload import DeadLetterBuffer, OverloadPolicy
 from repro.runtime.recovery import Checkpoint, RegionState
 from repro.runtime.trace import render_deadlock_diagnostic
 from repro.util.errors import (
     CheckpointError,
     DeadlockError,
+    OverloadError,
     PeerFailedError,
     PortClosedError,
     ProtocolTimeoutError,
+    RuntimeProtocolError,
 )
 
 #: How long a blocked operation waits between deadlock/timeout re-checks.
@@ -64,26 +80,43 @@ _WAIT_TICK = 0.1
 
 
 class _Op:
-    """One pending send/receive operation."""
+    """One pending send/receive operation.
 
-    __slots__ = ("vertex", "value", "done", "error")
+    ``t_enq``/``steps_enq`` record when the op entered its queue (wall
+    clock and engine step count) — the watchdog's raw material for telling
+    a *stalled* party (old op, engine still firing) from a deadlock.
+    """
+
+    __slots__ = ("vertex", "value", "done", "error", "t_enq", "steps_enq")
 
     def __init__(self, vertex: str, value=None):
         self.vertex = vertex
         self.value = value
         self.done = False
         self.error: Exception | None = None
+        self.t_enq = 0.0
+        self.steps_enq = 0
 
 
 class _Party:
-    """One registered party (task) of the engine, refcounted by port."""
+    """One registered party (task) of the engine, refcounted by port.
 
-    __slots__ = ("name", "refs", "vertices")
+    ``last_active``/``steps_active`` record the party's last *protocol
+    activity* — submitting an operation or having one completed by a firing
+    — as a wall-clock instant and an engine step count.  A party that stays
+    inactive while the step count advances is stalled or pathologically
+    slow (watchdog material); one that stays inactive while nothing moves
+    anywhere is deadlock material.
+    """
+
+    __slots__ = ("name", "refs", "vertices", "last_active", "steps_active")
 
     def __init__(self, name: str):
         self.name = name
         self.refs = 0
         self.vertices: set[str] = set()
+        self.last_active = time.monotonic()
+        self.steps_active = 0
 
 
 class EagerRegion:
@@ -174,6 +207,7 @@ class CoordinatorEngine:
         tracer=None,
         default_timeout: float | None = None,
         detection_grace: float = 0.05,
+        overload: "OverloadPolicy | dict[str, OverloadPolicy] | None" = None,
     ):
         self.regions = list(regions)
         self.buffers = buffers
@@ -194,7 +228,18 @@ class CoordinatorEngine:
         self._closed = False
         self._blocked = 0
 
+        self._policies = self._normalize_policies(overload, sources, sinks)
+        self.dead = DeadLetterBuffer()
+        self._draining = False
+        # Baseline buffered-value count: token-ring connectors permanently
+        # hold protocol tokens, so "drained" means back *down to* this
+        # occupancy, not necessarily empty.
+        self._initial_occupancy = sum(
+            buffers.occupancy(n) for n in buffers.names()
+        )
+
         self._parties: dict[object, _Party] = {}
+        self._vertex_party: dict[str, _Party] = {}
         self._party_gen = 0  # bumped on every (un)registration
         self._peer_failures: list[PeerFailedError] = []
         # Candidate deadlock sighting awaiting confirmation:
@@ -217,17 +262,55 @@ class CoordinatorEngine:
 
     # ------------------------------------------------------------------ API
 
-    def submit_send(self, vertex: str, value, timeout: float | None = None) -> None:
+    @staticmethod
+    def _normalize_policies(
+        overload, sources: frozenset[str], sinks: frozenset[str]
+    ) -> dict[str, OverloadPolicy]:
+        """Expand the ``overload`` option into a per-vertex policy map.
+
+        A bare :class:`OverloadPolicy` applies to every *source* vertex
+        (shedding a receive is meaningless — there is no value to capture);
+        a dict maps vertex names explicitly and may put ``block`` or
+        ``fail_fast`` on sinks too.
+        """
+        if overload is None:
+            return {}
+        if isinstance(overload, OverloadPolicy):
+            return {v: overload for v in sources}
+        policies: dict[str, OverloadPolicy] = {}
+        for vertex, pol in overload.items():
+            if vertex not in sources and vertex not in sinks:
+                raise RuntimeProtocolError(
+                    f"overload policy for unknown boundary vertex {vertex!r}"
+                )
+            if pol.sheds and vertex in sinks:
+                raise RuntimeProtocolError(
+                    f"policy {pol.kind!r} on sink vertex {vertex!r}: shedding "
+                    "applies to sends only (a receive has no value to capture)"
+                )
+            policies[vertex] = pol
+        return policies
+
+    def submit_send(
+        self,
+        vertex: str,
+        value,
+        timeout: float | None = None,
+        policy: OverloadPolicy | None = None,
+    ) -> None:
         """Blocking send; raises :class:`ProtocolTimeoutError` when
-        ``timeout`` (or the engine's ``default_timeout``) elapses first."""
+        ``timeout`` (or the engine's ``default_timeout``) elapses first.
+        ``policy`` overrides the vertex's configured overload policy for
+        this one operation."""
         op = _Op(vertex, value)
-        self._submit(self._pending_send[vertex], op, timeout)
+        self._submit(self._pending_send[vertex], op, timeout,
+                     policy=policy, is_send=True)
 
     def try_submit_send(self, vertex: str, value) -> bool:
         """Non-blocking send: complete only if a transition fires with it
         immediately; otherwise withdraw the offer and return ``False``."""
         op = _Op(vertex, value)
-        return self._try_submit(self._pending_send[vertex], op)
+        return self._try_submit(self._pending_send[vertex], op, is_send=True)
 
     def submit_recv(self, vertex: str, timeout: float | None = None):
         """Blocking receive returning the delivered value; raises
@@ -259,6 +342,9 @@ class CoordinatorEngine:
                 party.name = name
             if vertex is not None:
                 party.vertices.add(vertex)
+                self._vertex_party[vertex] = party
+            party.last_active = time.monotonic()
+            party.steps_active = self.steps
             self._party_gen += 1
             self._suspect = None
 
@@ -272,6 +358,8 @@ class CoordinatorEngine:
                 return
             if vertex is not None:
                 party.vertices.discard(vertex)
+                if self._vertex_party.get(vertex) is party:
+                    del self._vertex_party[vertex]
             party.refs -= 1
             if party.refs <= 0:
                 del self._parties[key]
@@ -431,6 +519,7 @@ class CoordinatorEngine:
         sinks: frozenset[str],
         vertex_map: dict[str, str],
         expected_delta: int = 0,
+        initial_occupancy: int | None = None,
     ) -> None:
         """Replace this engine's protocol wholesale — the re-parametrization
         primitive.
@@ -481,14 +570,27 @@ class CoordinatorEngine:
                 if v in vertex_map
             }
             self._peer_failures.clear()
+            self._vertex_party = {}
             for party in self._parties.values():
                 party.vertices = {
                     vertex_map[v] for v in party.vertices if v in vertex_map
                 }
+                for v in party.vertices:
+                    self._vertex_party[v] = party
             if self.expected_parties is not None:
                 self.expected_parties = max(
                     0, self.expected_parties - expected_delta
                 )
+            self._policies = {
+                vertex_map[v]: p
+                for v, p in self._policies.items()
+                if v in vertex_map
+            }
+            self.dead.remap(vertex_map)
+            if initial_occupancy is not None:
+                # The re-instantiated connector's token baseline (captured by
+                # the caller *before* buffer migration) replaces the old one.
+                self._initial_occupancy = initial_occupancy
             self._party_gen += 1
             self._suspect = None
             self._plans.clear()
@@ -500,6 +602,14 @@ class CoordinatorEngine:
             self._cond.notify_all()
 
     # ------------------------------------------------------------ internals
+
+    def _mark_active(self, vertex: str, now: float | None = None) -> None:
+        """Record protocol activity for the party owning ``vertex`` (lock
+        held): submitting an op or having one completed by a firing."""
+        party = self._vertex_party.get(vertex)
+        if party is not None:
+            party.last_active = now if now is not None else time.monotonic()
+            party.steps_active = self.steps
 
     def _fail_queue(self, queue: deque | None, error: Exception | None = None) -> None:
         if not queue:
@@ -514,9 +624,14 @@ class CoordinatorEngine:
                 f"vertex {vertex!r} closed"
             )
 
-    def _try_submit(self, queue: deque, op: _Op) -> bool:
+    def _try_submit(self, queue: deque, op: _Op, is_send: bool = False) -> bool:
         with self._cond:
             self._check_open(op.vertex)
+            if is_send and self._draining:
+                raise PortClosedError(
+                    f"vertex {op.vertex!r} rejected: connector draining"
+                )
+            self._mark_active(op.vertex)
             queue.append(op)
             self._drain()
             if op.done:
@@ -526,16 +641,39 @@ class CoordinatorEngine:
             queue.remove(op)
             return False
 
-    def _submit(self, queue: deque, op: _Op, timeout: float | None) -> None:
+    def _submit(
+        self,
+        queue: deque,
+        op: _Op,
+        timeout: float | None,
+        policy: OverloadPolicy | None = None,
+        is_send: bool = False,
+    ) -> None:
         if timeout is None:
             timeout = self.default_timeout
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             self._check_open(op.vertex)
+            if is_send and self._draining:
+                raise PortClosedError(
+                    f"vertex {op.vertex!r} rejected: connector draining"
+                )
+            op.t_enq = time.monotonic()
+            op.steps_enq = self.steps
+            self._mark_active(op.vertex, op.t_enq)
             queue.append(op)
             self._drain()
             if op.done:
                 return
+            pol = policy if policy is not None else self._policies.get(op.vertex)
+            if (
+                pol is not None
+                and pol.kind != "block"
+                and len(queue) > pol.max_pending
+            ):
+                self._overflow(queue, op, pol)
+                if op.done:
+                    return
             self._blocked += 1
             try:
                 while not op.done and op.error is None:
@@ -561,6 +699,108 @@ class CoordinatorEngine:
                 self._blocked -= 1
             if op.error is not None:
                 raise op.error
+
+    def _overflow(self, queue: deque, op: _Op, pol: OverloadPolicy) -> None:
+        """Apply a non-``block`` policy to an over-bound queue (lock held).
+
+        ``fail_fast`` withdraws ``op`` and raises; the shed kinds capture a
+        value into the dead-letter buffer and complete its operation as if
+        sent — the protocol never sees a shed value, but the submitter is
+        released rather than parked (degrade predictably, don't fall over).
+        """
+        if pol.kind == "fail_fast":
+            queue.remove(op)
+            raise OverloadError(op.vertex, pol.max_pending)
+        if pol.kind == "shed_newest":
+            victim = op
+            queue.remove(op)
+        else:  # shed_oldest: drop-head; the incoming op takes the freed slot
+            victim = queue.popleft()
+        self.dead.capture(
+            victim.vertex, victim.value, pol.kind, self.steps,
+            pol.dead_letter_capacity,
+        )
+        victim.done = True
+        if victim is not op:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------ overload layer
+
+    def dead_letters(self, vertex: str | None = None):
+        """Shed values retained per vertex (or all, in shed order)."""
+        return self.dead.of(vertex) if vertex is not None else self.dead.all()
+
+    def shed_count(self, vertex: str | None = None) -> int:
+        """Exact count of values ever shed (survives dead-letter eviction)."""
+        return self.dead.count(vertex)
+
+    def begin_drain(self) -> None:
+        """Stop admitting new sends; receives keep flushing buffered values.
+
+        Already-queued sends complete normally (they were admitted); new
+        ``send``/``try_send`` calls raise :class:`PortClosedError` so
+        producers see a clean close instead of a hang.
+        """
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def drained(self) -> bool:
+        """True when no send is pending and the buffered-value count is
+        back down to the connector's initial occupancy (initialized tokens
+        of ring connectors are protocol state, not user data)."""
+        with self._lock:
+            if any(self._pending_send.values()):
+                return False
+            occupancy = sum(
+                self.buffers.occupancy(n) for n in self.buffers.names()
+            )
+            return occupancy <= self._initial_occupancy
+
+    def party_progress(self) -> tuple[list[dict], int]:
+        """Watchdog probe: one row per registered party.
+
+        Each row reports the party's pending-operation count, how long its
+        *oldest* pending op has waited (``waited``), how long since the
+        party's last protocol activity (``idle`` — a submitted op or a
+        firing that completed one), and how many global steps the engine
+        fired since that activity (``steps_since_active``).  ``idle`` high
+        while ``steps_since_active > 0`` is the stall signature: this party
+        went quiet while its peers kept firing — covering both a task
+        wedged in application code (no pending op at all) and one starved
+        behind an old pending op.  When nothing fires anywhere the step
+        count freezes too, and that case belongs to the deadlock detector.
+        Returns ``(rows, engine_steps)``.
+        """
+        with self._lock:
+            now = time.monotonic()
+            rows = []
+            for i, party in enumerate(self._parties.values()):
+                pending = 0
+                oldest_t: float | None = None
+                for v in party.vertices:
+                    for q in (self._pending_send.get(v),
+                              self._pending_recv.get(v)):
+                        if not q:
+                            continue
+                        for o in q:
+                            pending += 1
+                            if oldest_t is None or o.t_enq < oldest_t:
+                                oldest_t = o.t_enq
+                rows.append({
+                    "name": party.name or f"party{i}",
+                    "vertices": tuple(sorted(party.vertices)),
+                    "pending": pending,
+                    "waited": (now - oldest_t) if oldest_t is not None else 0.0,
+                    "idle": now - party.last_active,
+                    "steps_since_active": self.steps - party.steps_active,
+                })
+            return rows, self.steps
 
     def _maybe_deadlock(self) -> None:
         if self._parties:
@@ -707,6 +947,12 @@ class CoordinatorEngine:
             region.advance(step)
             region.rr = (start + k + 1) % n
             self.steps += 1
+            if self._vertex_party:
+                now = time.monotonic()
+                for v in completed_sends:
+                    self._mark_active(v, now)
+                for v in completed_recvs:
+                    self._mark_active(v, now)
             if self.tracer is not None:
                 self.tracer.record(
                     self.regions.index(region),
@@ -755,6 +1001,8 @@ class CoordinatorEngine:
             "regions": len(self.regions),
             "parties": len(self._parties),
             "blocked": self._blocked,
+            "shed": self.dead.count(),
+            "draining": self._draining,
         }
         expansions = 0
         cache_len = 0

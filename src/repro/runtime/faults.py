@@ -26,7 +26,19 @@ Fault kinds (``FaultSpec.kind``):
   protocol completes as if uninterrupted (the fault slot is consumed, so
   the relaunched run sails past it).  Not drawn by :meth:`FaultPlan.random`
   under the default ``kinds`` — pass it explicitly — so existing seeded
-  plans keep their exact schedules.
+  plans keep their exact schedules;
+* ``"slow_task"`` — from the ``at_op``-th operation onward, sleep ``delay``
+  seconds before *every* operation on the port (models a pathologically
+  slow task, as opposed to ``"delay"``'s one-off hiccup; the
+  :class:`~repro.runtime.watchdog.Watchdog` is what should notice);
+* ``"flood"`` — on an outport, send ``factor`` extra copies of the value
+  before the real send (models an overloading producer; with an overload
+  policy installed the surplus must be shed/rejected, without one it must
+  only slow things down, never corrupt them).  A no-op on inports.
+
+Like ``"crash_then_recover"``, the two overload kinds are opt-in for
+:meth:`FaultPlan.random` (pass them via ``kinds=``), keeping existing
+seeded schedules stable.
 
 Usage::
 
@@ -51,9 +63,10 @@ from repro.util.errors import ReproError
 #: kinds must keep their exact schedules.
 KINDS = ("delay", "drop", "crash", "close")
 
-#: Every valid ``FaultSpec.kind`` — ``KINDS`` plus the recoverable crash,
-#: which tests opt into explicitly (``kinds=("delay", "crash_then_recover")``).
-ALL_KINDS = KINDS + ("crash_then_recover",)
+#: Every valid ``FaultSpec.kind`` — ``KINDS`` plus the recoverable crash
+#: and the overload kinds, which tests opt into explicitly
+#: (``kinds=("delay", "crash_then_recover", "flood")``).
+ALL_KINDS = KINDS + ("crash_then_recover", "slow_task", "flood")
 
 
 class InjectedFault(ReproError):
@@ -80,6 +93,8 @@ class FaultSpec:
     port: str
     at_op: int
     delay: float = 0.0
+    #: ``"flood"`` only: how many extra copies to send before the real one.
+    factor: int = 0
 
     def __post_init__(self):
         if self.kind not in ALL_KINDS:
@@ -88,9 +103,15 @@ class FaultSpec:
             )
         if self.at_op < 1:
             raise ValueError(f"at_op is 1-based, got {self.at_op}")
+        if self.kind == "flood" and self.factor < 1:
+            raise ValueError("flood needs factor >= 1 (extra copies to send)")
 
     def __str__(self) -> str:
-        extra = f" ({self.delay}s)" if self.kind == "delay" else ""
+        extra = ""
+        if self.kind in ("delay", "slow_task"):
+            extra = f" ({self.delay}s)"
+        elif self.kind == "flood":
+            extra = f" (x{self.factor})"
         return f"{self.kind}@{self.port}#{self.at_op}{extra}"
 
 
@@ -133,7 +154,10 @@ class FaultPlan:
                     kind=kind,
                     port=rng.choice(names),
                     at_op=rng.randint(1, max_op),
-                    delay=round(rng.uniform(0.001, max_delay), 4) if kind == "delay" else 0.0,
+                    delay=round(rng.uniform(0.001, max_delay), 4)
+                    if kind in ("delay", "slow_task")
+                    else 0.0,
+                    factor=rng.randint(1, 3) if kind == "flood" else 0,
                 )
             )
         return cls(specs, name=f"seed{seed}")
@@ -179,6 +203,7 @@ class _FaultyPort:
         self._port = port
         self._ops = 0
         self._ops_lock = threading.Lock()
+        self._slow: FaultSpec | None = None  # armed "slow_task", if any
 
     def __getattr__(self, attr):
         return getattr(self._port, attr)
@@ -186,12 +211,24 @@ class _FaultyPort:
     def _next_fault(self) -> FaultSpec | None:
         with self._ops_lock:
             self._ops += 1
-            return self._plan._lookup(self._port.name, self._ops)
+            spec = self._plan._lookup(self._port.name, self._ops)
+            if spec is not None and spec.kind == "slow_task":
+                # Persistent: from this op onward every operation crawls.
+                # Recorded once, at onset; the ongoing slowness is the
+                # watchdog's to notice, not the plan's to re-log.
+                if self._slow is None:
+                    self._slow = spec
+                    self._plan._record(spec)
+                spec = None
+            slow = self._slow
+        if slow is not None:
+            time.sleep(slow.delay)
+        return spec
 
     def _pre(self, spec: FaultSpec | None) -> str | None:
         """Apply the pre-operation part of a fault; returns the kind when
-        the operation itself must be altered ('drop') — None means proceed
-        normally."""
+        the operation itself must be altered ('drop'/'flood') — None means
+        proceed normally."""
         if spec is None:
             return None
         self._plan._record(spec)
@@ -203,32 +240,47 @@ class _FaultyPort:
         if spec.kind == "close":
             self._port.close()
             return None  # the delegated operation now raises PortClosedError
-        return spec.kind  # "drop"
+        return spec.kind  # "drop" / "flood"
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<faulty {self._port!r}>"
 
 
 class FaultyOutport(_FaultyPort):
-    def send(self, value, timeout: float | None = None) -> None:
-        if self._pre(self._next_fault()) == "drop":
+    def send(self, value, timeout: float | None = None, policy=None) -> None:
+        spec = self._next_fault()
+        kind = self._pre(spec)
+        if kind == "drop":
             return  # the value silently never reaches the connector
-        self._port.send(value, timeout=timeout)
+        if kind == "flood":
+            # Surplus copies first; whatever overload handling is installed
+            # must absorb them (shed/fail) — the real send follows.
+            for _ in range(spec.factor):
+                self._port.send(value, timeout=timeout, policy=policy)
+        self._port.send(value, timeout=timeout, policy=policy)
 
     def try_send(self, value) -> bool:
-        if self._pre(self._next_fault()) == "drop":
+        spec = self._next_fault()
+        kind = self._pre(spec)
+        if kind == "drop":
             return True  # reported sent, never offered
+        if kind == "flood":
+            for _ in range(spec.factor):
+                self._port.try_send(value)
         return self._port.try_send(value)
 
 
 class FaultyInport(_FaultyPort):
     def recv(self, timeout: float | None = None):
-        if self._pre(self._next_fault()) == "drop":
+        kind = self._pre(self._next_fault())
+        if kind == "drop":
             self._port.recv(timeout=timeout)  # swallow one message...
         return self._port.recv(timeout=timeout)  # ...then the real receive
+        # ("flood" is send-side; on an inport it deliberately does nothing)
 
     def try_recv(self) -> tuple[bool, object]:
-        if self._pre(self._next_fault()) == "drop":
+        kind = self._pre(self._next_fault())
+        if kind == "drop":
             ok, _ = self._port.try_recv()  # swallow (if anything is there)
         return self._port.try_recv()
 

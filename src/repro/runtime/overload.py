@@ -1,0 +1,160 @@
+"""Overload policies and dead-letter capture — admission control data types.
+
+PRs 1–2 made the runtime survive *crashes*; this module is the vocabulary of
+the *overload* story: what happens when operations arrive faster than the
+protocol can absorb them.  Following the Reo line of work, these are
+cross-cutting concerns of the *coordinator*, not of application tasks — a
+policy is attached per boundary vertex on the connector/engine, and tasks
+keep calling plain ``send``/``recv``.
+
+* :class:`OverloadPolicy` — one vertex's admission discipline:
+
+  - ``"block"`` (default): today's behaviour — the submitter blocks until
+    the connector completes the operation.  Backpressure through blocking
+    is the bound: each queued operation is one parked task thread.
+  - ``"fail_fast"``: when ``max_pending`` operations are already queued and
+    the new one cannot complete immediately, raise
+    :class:`~repro.util.errors.OverloadError` instead of queueing it.
+  - ``"shed_newest"`` (drop-tail): the *incoming* value is captured in the
+    dead-letter buffer and the send reports success — the producer keeps
+    running, the protocol never sees the value.
+  - ``"shed_oldest"`` (drop-head): the *oldest queued* value is captured in
+    the dead-letter buffer and its (blocked) submitter completes as if
+    sent; the incoming operation takes the freed slot.
+
+  Shedding is only meaningful for *sends* (a receive has no value to
+  capture); configuring a shed policy on a sink vertex is rejected.
+
+* :class:`DeadLetter` / :class:`DeadLetterBuffer` — every shed value is
+  recorded (bounded per vertex by ``dead_letter_capacity``; eviction is
+  counted, never silent), so an application can reconcile exactly which
+  values the coordinator dropped and why.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+#: Valid admission disciplines, in documentation order.
+POLICY_KINDS = ("block", "fail_fast", "shed_oldest", "shed_newest")
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Admission discipline for one boundary vertex.
+
+    ``max_pending`` bounds the vertex's pending-operation queue; it must be
+    given for the non-``block`` kinds (for ``block`` it is ignored — the
+    queue is naturally bounded by the number of blocked task threads).
+    ``max_pending=0`` means *immediate-only*: an operation that cannot
+    complete in the submission drain is rejected/shed right away.
+
+    ``dead_letter_capacity`` bounds the per-vertex dead-letter buffer the
+    shed kinds capture into (oldest dead letters are evicted first; the
+    total shed *count* is kept exactly regardless).
+    """
+
+    kind: str = "block"
+    max_pending: int | None = None
+    dead_letter_capacity: int = 256
+
+    def __post_init__(self):
+        if self.kind not in POLICY_KINDS:
+            raise ValueError(
+                f"unknown overload policy {self.kind!r}; expected one of "
+                f"{POLICY_KINDS}"
+            )
+        if self.kind != "block":
+            if self.max_pending is None:
+                raise ValueError(
+                    f"policy {self.kind!r} needs max_pending (the queue bound)"
+                )
+            if self.max_pending < 0:
+                raise ValueError("max_pending must be >= 0")
+        if self.dead_letter_capacity < 1:
+            raise ValueError("dead_letter_capacity must be >= 1")
+
+    @property
+    def sheds(self) -> bool:
+        return self.kind in ("shed_oldest", "shed_newest")
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One shed value: which vertex dropped it, under which policy kind,
+    and when (``seq`` is a per-engine shed sequence number, ``step`` the
+    engine's global step count at shed time — both deterministic under
+    seeded schedules, unlike wall-clock timestamps)."""
+
+    vertex: str
+    value: object
+    policy: str
+    seq: int
+    step: int
+
+
+class DeadLetterBuffer:
+    """Thread-safe, per-vertex bounded capture of shed values.
+
+    ``capture`` appends a :class:`DeadLetter` (evicting the oldest past the
+    vertex's capacity — evictions increment the exact per-vertex counter,
+    so accounting never lies even when the buffer forgot the value itself).
+    """
+
+    def __init__(self):
+        self._by_vertex: dict[str, deque[DeadLetter]] = {}
+        self._counts: dict[str, int] = {}
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def capture(
+        self, vertex: str, value, policy: str, step: int, capacity: int
+    ) -> DeadLetter:
+        with self._lock:
+            letter = DeadLetter(vertex, value, policy, self._seq, step)
+            self._seq += 1
+            q = self._by_vertex.get(vertex)
+            if q is None:
+                q = self._by_vertex[vertex] = deque()
+            q.append(letter)
+            while len(q) > capacity:
+                q.popleft()
+            self._counts[vertex] = self._counts.get(vertex, 0) + 1
+            return letter
+
+    def of(self, vertex: str) -> tuple[DeadLetter, ...]:
+        """The retained dead letters of one vertex, oldest first."""
+        with self._lock:
+            return tuple(self._by_vertex.get(vertex, ()))
+
+    def all(self) -> tuple[DeadLetter, ...]:
+        """Every retained dead letter, in shed (``seq``) order."""
+        with self._lock:
+            out = [l for q in self._by_vertex.values() for l in q]
+        return tuple(sorted(out, key=lambda l: l.seq))
+
+    def count(self, vertex: str | None = None) -> int:
+        """Exact number of values ever shed (per vertex, or total) —
+        includes letters the bounded buffer has since evicted."""
+        with self._lock:
+            if vertex is not None:
+                return self._counts.get(vertex, 0)
+            return sum(self._counts.values())
+
+    def remap(self, vertex_map: dict[str, str]) -> None:
+        """Rename vertices across a re-parametrization; letters of vertices
+        that left the signature are kept under their old names (they record
+        history, not live state)."""
+        with self._lock:
+            self._by_vertex = {
+                vertex_map.get(v, v): q for v, q in self._by_vertex.items()
+            }
+            self._counts = {
+                vertex_map.get(v, v): n for v, n in self._counts.items()
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._by_vertex.values())

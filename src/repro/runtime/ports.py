@@ -153,9 +153,13 @@ class Outport(_Port):
     """A task's sending interface: ``send`` offers a message to the linked
     vertex and blocks until the connector is ready to handle it (§III.A)."""
 
-    def send(self, value, timeout: float | None = None) -> None:
+    def send(self, value, timeout: float | None = None, policy=None) -> None:
+        """Blocking send.  ``policy`` (an
+        :class:`~repro.runtime.overload.OverloadPolicy`) overrides the
+        vertex's configured overload policy for this one operation — e.g.
+        shed a low-priority message that would otherwise queue."""
         engine, vertex = self._require_bound()
-        engine.submit_send(vertex, value, timeout=timeout)
+        engine.submit_send(vertex, value, timeout=timeout, policy=policy)
 
     def try_send(self, value) -> bool:
         """Non-blocking send: complete the operation only if a transition

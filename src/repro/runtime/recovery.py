@@ -208,6 +208,120 @@ def index_name_map(index_map: dict[int, int]) -> Callable[[str], str | None]:
     return mapper
 
 
+def _occupancy_vectors(automaton) -> dict[int, dict[str, int]] | None:
+    """Map each reachable control state to its buffer-occupancy vector.
+
+    Walks the automaton from its initial state applying Push (+1) / Pop (−1)
+    effects on its *own* buffers, seeded from each :class:`BufferSpec`'s
+    initial contents.  Paths that would overfill or underflow a buffer are
+    pruned (their guards could never hold).  Returns ``None`` when some
+    state is reachable with two different vectors — then occupancy is not
+    tracked in control state (data-dependent guards govern instead) and
+    reconciliation must not touch the state.
+    """
+    from repro.automata.constraint import Pop, Push
+
+    owned = {b.name: b for b in automaton.buffers}
+    if not owned:
+        return None
+    vectors: dict[int, dict[str, int]] = {
+        automaton.initial: {n: len(s.initial) for n, s in owned.items()}
+    }
+    frontier = [automaton.initial]
+    while frontier:
+        state = frontier.pop()
+        vec = vectors[state]
+        for t in automaton.outgoing(state):
+            nvec = dict(vec)
+            feasible = True
+            for e in t.effects:
+                name = getattr(e, "buffer", None)
+                if name not in nvec:
+                    continue
+                if isinstance(e, Push):
+                    nvec[name] += 1
+                    cap = owned[name].capacity
+                    if cap is not None and nvec[name] > cap:
+                        feasible = False
+                        break
+                elif isinstance(e, Pop):
+                    nvec[name] -= 1
+                    if nvec[name] < 0:
+                        feasible = False
+                        break
+            if not feasible:
+                continue
+            prev = vectors.get(t.target)
+            if prev is None:
+                vectors[t.target] = nvec
+                frontier.append(t.target)
+            elif prev != nvec:
+                return None
+    return vectors
+
+
+def _reconcile_one(automaton, current_state, store, dropped: dict):
+    """Pick the control state of ``automaton`` consistent with ``store``.
+
+    Returns the state to install, or ``None`` to keep ``current_state``.
+    When *no* state is compatible with the (migrated) buffer contents, the
+    automaton's buffers are reset to their spec-initial contents, displaced
+    values are recorded in ``dropped``, and the initial state is returned —
+    a consistent (if lossy) protocol state beats a silently corrupt one.
+    """
+    vectors = _occupancy_vectors(automaton)
+    if vectors is None:
+        return None
+    owned = {b.name: b for b in automaton.buffers}
+    target = {name: store.occupancy(name) for name in owned}
+    if vectors.get(current_state) == target:
+        return None
+    matches = sorted(s for s, v in vectors.items() if v == target)
+    if matches:
+        # Ties (several states with identical occupancy) resolve to the
+        # lowest-numbered state — deterministic, and in the connectors this
+        # library builds occupancy determines control state uniquely.
+        return matches[0]
+    snap = store.snapshot()
+    for name, spec in owned.items():
+        cur = tuple(snap.get(name, ()))
+        if cur != tuple(spec.initial):
+            if cur:
+                dropped[name] = cur
+            store.set_contents(name, spec.initial)
+    return automaton.initial
+
+
+def reconcile_region_states(regions, store) -> dict[str, tuple]:
+    """Align freshly built regions' control states with migrated buffers.
+
+    :func:`migrate_buffers` carries buffer *contents* into the
+    re-instantiated connector, but the fresh regions start in their initial
+    control states — which, for automata that track buffer occupancy in
+    control state (every fifo-built connector), do not enable any transition
+    that could ever deliver the migrated values.  This pass computes each
+    automaton's state↔occupancy correspondence and moves each region (each
+    component, for lazy regions) to the state matching the store.  Returns
+    buffer contents that had to be dropped because no control state could
+    account for them (merged into the departure report by the caller).
+    """
+    dropped: dict[str, tuple] = {}
+    for region in regions:
+        automaton = getattr(region, "automaton", None)
+        if automaton is not None:  # EagerRegion: one composed automaton
+            state = _reconcile_one(automaton, region.state, store, dropped)
+            if state is not None:
+                region.state = state
+        else:  # LazyRegion: reconcile each component of the state tuple
+            new_state = list(region.state)
+            for i, comp in enumerate(region.lazy.automata):
+                state = _reconcile_one(comp, new_state[i], store, dropped)
+                if state is not None:
+                    new_state[i] = state
+            region.state = tuple(new_state)
+    return dropped
+
+
 def migrate_buffers(
     old_contents: dict[str, tuple],
     new_store,

@@ -32,7 +32,14 @@ import time
 from typing import Callable, Iterable
 
 from repro.runtime.recovery import RestartPolicy
-from repro.util.errors import PeerFailedError, ReproError
+from repro.util.errors import (
+    PeerFailedError,
+    PortClosedError,
+    ProtocolTimeoutError,
+    ReproError,
+    RuntimeProtocolError,
+    StallError,
+)
 
 #: Bound on joining spawned tasks when a ``with TaskGroup()`` body raised
 #: (used when the group has no explicit ``join_timeout``).
@@ -187,6 +194,10 @@ class SupervisedTask:
         #: absorbed by re-parametrization (the protocol shrank instead of
         #: poisoning peers); ``join`` then returns instead of raising.
         self.departed = False
+        #: True when the group forcibly removed this (stalled) task via
+        #: :meth:`SupervisedTaskGroup.quarantine`; its eventual thread exit
+        #: must not re-trigger crash handling.
+        self.quarantined = False
         self._done = threading.Event()
 
     # -- TaskHandle-compatible surface --------------------------------------
@@ -307,7 +318,18 @@ class SupervisedTaskGroup(TaskGroup):
     # -- exit hooks (run on the exiting task's own thread) -------------------
 
     def _task_exited(self, record: SupervisedTask, handle: TaskHandle) -> None:
+        if record.quarantined:
+            # The group already removed this task's party (watchdog
+            # escalation); its late exit — usually a PortClosedError from
+            # the vertex that left the signature — is the quarantine taking
+            # effect, not a new crash.
+            record._done.set()
+            return
         exc = handle.exception
+        if exc is not None and self._shutdown and isinstance(exc, PortClosedError):
+            # Shutdown/drain closed the ports under the task: the closed
+            # port is the clean end-of-stream signal, not a crash.
+            exc = None
         if exc is None:
             record.result = handle.result
             for p in record.ports:
@@ -366,6 +388,68 @@ class SupervisedTaskGroup(TaskGroup):
             else:
                 self.departures.append(report)
         return ok
+
+    # -- overload layer ------------------------------------------------------
+
+    def quarantine(self, task, cause: BaseException | None = None) -> bool:
+        """Forcibly remove a stalled or pathologically slow task's party
+        from its connectors — the watchdog's escalation path.
+
+        ``task`` is a :class:`SupervisedTask` or its name.  The flagged
+        party's vertices are excluded via re-parametrization
+        (:meth:`RuntimeConnector.leave`), so peers continue on the smaller
+        protocol instead of stalling every round behind the laggard; the
+        task itself sees :class:`~repro.util.errors.PortClosedError` on its
+        next port operation and winds down.  Returns ``True`` when every
+        connector accepted the departure (the stall is then absorbed —
+        ``join`` does not raise); on ``False`` the ports were poisoned the
+        classic way and ``join`` raises ``cause``.
+        """
+        record = self._find_task(task)
+        if not record.alive:
+            return False
+        exc = cause if cause is not None else StallError(record.name, 0.0)
+        record.quarantined = True
+        record.exception = exc
+        if self._reparametrize(record, exc):
+            record.departed = True
+            record._done.set()
+            return True
+        record._done.set()
+        return False
+
+    def _find_task(self, task) -> SupervisedTask:
+        if isinstance(task, SupervisedTask):
+            return task
+        for r in self.handles:
+            if isinstance(r, SupervisedTask) and r.name == task:
+                return r
+        raise RuntimeProtocolError(f"no supervised task named {task!r}")
+
+    def shutdown(self, drain_timeout: float | None = None) -> list:
+        """Gracefully wind the group down: stop restarts, *drain* every
+        connector behind the tasks' ports (refuse new sends, flush buffered
+        values, close ports in dependency order), then join all tasks.
+
+        A connector that cannot flush within ``drain_timeout`` is force-
+        closed.  Tasks that exit with :class:`PortClosedError` after the
+        shutdown began are treated as having finished cleanly (the closed
+        port *is* the end-of-stream signal), so plain receive loops need no
+        shutdown-specific handling.  Returns the tasks' results.
+        """
+        self._shutdown = True
+        connectors: dict[int, object] = {}
+        for record in self.handles:
+            for p in getattr(record, "ports", ()):
+                conn = getattr(p, "_connector", None)
+                if conn is not None and hasattr(conn, "drain"):
+                    connectors.setdefault(id(conn), conn)
+        for conn in connectors.values():
+            try:
+                conn.drain(timeout=drain_timeout)
+            except ProtocolTimeoutError:
+                conn.close()
+        return self.join_all()
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is not None:

@@ -1,0 +1,192 @@
+"""Liveness watchdog: flag stalled or pathologically slow tasks.
+
+PR 1's deadlock detector owns the *global* failure mode — every party
+blocked, no transition enabled, nothing can ever move.  This module covers
+the complementary *partial* one: the protocol keeps firing, but one party's
+pending operation has been sitting in its queue for far too long — a peer
+wedged on I/O, a task spinning in application code, a producer starved by an
+unfair upstream.  Nothing is deadlocked, so the detector stays silent; the
+watchdog is what notices.
+
+A :class:`Watchdog` polls each engine's
+:meth:`~repro.runtime.engine.CoordinatorEngine.party_progress` every
+``probe_interval`` seconds.  A party is **stalled** when it has shown no
+protocol activity (submitted or completed operation) for at least
+``stall_after`` seconds *while the engine fired at least one step in the
+meantime* — peers progressing is precisely what distinguishes a stall from
+a deadlock (decision table in ``docs/INTERNALS.md`` §7).  This catches
+both shapes of the failure: a task wedged in application code (no pending
+operation at all — the protocol just never hears from it again) and a task
+starved behind a pending operation the protocol keeps not serving, while a
+task that is merely blocked in a globally quiescent protocol is left to the
+deadlock detector.  Each stall episode produces one
+:class:`StallReport` (re-armed when the party makes progress again), passed
+to the ``on_stall`` callback and retained in :attr:`Watchdog.reports`.
+
+With ``group=`` (a :class:`~repro.runtime.tasks.SupervisedTaskGroup`) and
+``escalate=True``, a flagged party is *quarantined*: its vertices are
+excluded from the protocol via the group's re-parametrization path
+(:meth:`SupervisedTaskGroup.quarantine`), so the remaining parties continue
+on the smaller protocol instead of stalling every round behind the laggard.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.util.errors import StallError
+
+
+@dataclass(frozen=True)
+class StallReport:
+    """One flagged stall episode.
+
+    ``idle`` is how long the party had shown no protocol activity at probe
+    time; ``steps_since`` how many engine steps fired since that activity
+    (> 0 by construction — peers were progressing); ``pending``/``waited``
+    describe its oldest pending operation, if any (``pending == 0`` means
+    the task went quiet in application code, not blocked on the protocol);
+    ``engine_steps`` the engine's global step count at the probe.
+    """
+
+    task: str
+    vertices: tuple[str, ...]
+    pending: int
+    waited: float
+    idle: float
+    steps_since: int
+    engine_steps: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        where = "blocked on the protocol" if self.pending else "in application code"
+        return (
+            f"<Stall {self.task}: idle {self.idle:.3f}s {where} while "
+            f"{self.steps_since} step(s) fired>"
+        )
+
+
+class Watchdog:
+    """Background prober for partial-progress failures.
+
+    ``targets`` are engines or connectors (anything with an ``engine``
+    attribute or ``party_progress`` method).  ``on_stall`` is called with
+    each fresh :class:`StallReport` on the watchdog thread; exceptions it
+    raises are swallowed (a broken callback must not kill liveness
+    monitoring).  ``escalate=True`` additionally quarantines the flagged
+    task through ``group`` — matching parties to supervised tasks by name.
+    """
+
+    def __init__(
+        self,
+        targets: Sequence,
+        probe_interval: float = 0.05,
+        stall_after: float = 0.25,
+        on_stall: Callable[[StallReport], None] | None = None,
+        group=None,
+        escalate: bool = False,
+    ):
+        if stall_after <= 0:
+            raise ValueError("stall_after must be > 0")
+        if escalate and group is None:
+            raise ValueError("escalate=True needs a group to quarantine through")
+        self._engines = []
+        for t in targets:
+            engine = getattr(t, "engine", None)
+            self._engines.append(engine if engine is not None else t)
+        self.probe_interval = probe_interval
+        self.stall_after = stall_after
+        self.on_stall = on_stall
+        self.group = group
+        self.escalate = escalate
+
+        self._reports: list[StallReport] = []
+        self._flagged: set[str] = set()  # parties in a current stall episode
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "Watchdog":
+        if self._thread is not None:
+            raise RuntimeError("watchdog already started")
+        self._thread = threading.Thread(
+            target=self._run, name="watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "Watchdog":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def reports(self) -> tuple[StallReport, ...]:
+        """Every stall episode flagged so far, in detection order."""
+        with self._lock:
+            return tuple(self._reports)
+
+    # ------------------------------------------------------------- internals
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.probe_interval):
+            self.probe()
+
+    def probe(self) -> list[StallReport]:
+        """One polling pass over all engines (also callable directly from
+        tests, which keeps stall detection deterministic under seeded
+        schedules).  Returns the reports freshly flagged by this pass."""
+        fresh: list[StallReport] = []
+        for engine in self._engines:
+            try:
+                rows, steps = engine.party_progress()
+            except Exception:  # noqa: BLE001 - engine may be closing down
+                continue
+            for row in rows:
+                stalled = (
+                    row["idle"] >= self.stall_after
+                    and row["steps_since_active"] > 0
+                )
+                name = row["name"]
+                if not stalled:
+                    self._flagged.discard(name)
+                    continue
+                if name in self._flagged:
+                    continue  # same episode, already reported
+                self._flagged.add(name)
+                report = StallReport(
+                    task=name,
+                    vertices=row["vertices"],
+                    pending=row["pending"],
+                    waited=row["waited"],
+                    idle=row["idle"],
+                    steps_since=row["steps_since_active"],
+                    engine_steps=steps,
+                )
+                fresh.append(report)
+                with self._lock:
+                    self._reports.append(report)
+                if self.on_stall is not None:
+                    try:
+                        self.on_stall(report)
+                    except Exception:  # noqa: BLE001 - see class docstring
+                        pass
+                if self.escalate:
+                    try:
+                        self.group.quarantine(
+                            name, cause=StallError(name, report.idle)
+                        )
+                    except Exception:  # noqa: BLE001 - peer may have exited
+                        pass
+        return fresh

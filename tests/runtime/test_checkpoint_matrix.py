@@ -24,6 +24,8 @@ from repro.runtime.tasks import TaskGroup
 from repro.runtime.trace import TraceRecorder
 
 OP_TIMEOUT = 15.0
+pytestmark = pytest.mark.fault_stress
+
 JOIN_TIMEOUT = 60.0
 ARITIES = (2, 3, 8)
 

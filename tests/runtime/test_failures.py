@@ -10,6 +10,8 @@ from repro.runtime.ports import mkports
 from repro.runtime.tasks import spawn
 from repro.util.errors import DeadlockError, PortClosedError
 
+pytestmark = pytest.mark.fault_stress
+
 
 def test_close_connector_fails_all_blocked_parties():
     conn = library.connector("Barrier", 2)

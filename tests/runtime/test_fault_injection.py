@@ -19,6 +19,8 @@ from repro.runtime.recovery import RestartPolicy
 from repro.runtime.tasks import SupervisedTaskGroup
 from repro.util.errors import ReproError
 
+pytestmark = pytest.mark.fault_stress
+
 OP_TIMEOUT = 1.0  # per-operation bound inside tasks
 JOIN_TIMEOUT = 15.0  # hard bound on the whole scenario: exceeding it = hang
 
@@ -170,7 +172,13 @@ def test_spec_validation():
     # every existing seeded plan injects, so growing it would silently
     # reschedule them all.  New kinds go into ALL_KINDS and are opted into.
     assert KINDS == ("delay", "drop", "crash", "close")
-    assert set(ALL_KINDS) - set(KINDS) == {"crash_then_recover"}
+    assert set(ALL_KINDS) - set(KINDS) == {
+        "crash_then_recover",
+        "slow_task",
+        "flood",
+    }
+    with pytest.raises(ValueError, match="factor"):
+        FaultSpec("flood", "p", 1)  # flood needs factor >= 1
 
 
 # --------------------------------------------------------------------------

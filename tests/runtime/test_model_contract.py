@@ -17,14 +17,18 @@ import pytest
 
 from repro.compiler import compile_source
 from repro.runtime.channels import ChannelInport, ChannelOutport, channel
+from repro.runtime.overload import OverloadPolicy
 from repro.runtime.ports import mkports
 from repro.runtime.tasks import SupervisedTaskGroup
 from repro.util.errors import (
+    OverloadError,
     PeerFailedError,
     PortClosedError,
     ProtocolTimeoutError,
     RuntimeProtocolError,
 )
+
+pytestmark = pytest.mark.fault_stress
 
 MODELS = ("ports", "channels")
 
@@ -144,6 +148,98 @@ def test_close_with_cause_delivers_that_cause(model):
     assert not t.is_alive()
     assert len(observed) == 1 and isinstance(observed[0], PeerFailedError)
     assert observed[0].task == "sender"
+    close()
+
+
+# --------------------------------------------------------------------------
+# Overload contract: the same policy means the same observable behavior
+# --------------------------------------------------------------------------
+
+
+def make_bounded_pipe(model, policy=None):
+    """A one-slot pipe with an overload policy in the given model, plus the
+    model's dead-letter accessors.
+
+    The bound plays the same role in both models: the connector model caps
+    the *pending-op queue* (``max_pending=0`` over a one-place Fifo1), the
+    basic model caps the *buffer* (``capacity=1``) — either way, one value
+    fits and the policy decides what happens to the next one.
+    """
+    if model == "ports":
+        conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector(
+            "P", overload=policy, default_timeout=5.0
+        )
+        outs, ins = mkports(1, 1)
+        conn.connect(outs, ins)
+        return outs[0], ins[0], conn.close, conn.dead_letters, conn.shed_count
+    out, inp = channel(capacity=1, policy=policy)
+    return out, inp, out.close, out.dead_letters, out.shed_count
+
+
+def _pol(kind):
+    return OverloadPolicy(kind, max_pending=0) if kind != "block" else None
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_overload_block_default_times_out_when_full(model):
+    out, inp, close, dead, shed = make_bounded_pipe(model)
+    out.send(1)
+    with pytest.raises(ProtocolTimeoutError):
+        out.send(2, timeout=0.05)
+    assert shed() == 0 and dead() == ()
+    assert inp.recv() == 1  # nothing was lost, nothing was captured
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_overload_fail_fast_raises_and_pipe_recovers(model):
+    out, inp, close, dead, shed = make_bounded_pipe(model, _pol("fail_fast"))
+    out.send(1)
+    with pytest.raises(OverloadError):
+        out.send(2)
+    assert shed() == 0  # fail_fast rejects; it never captures
+    assert inp.recv() == 1
+    out.send(3)  # the rejected op was withdrawn — the pipe still works
+    assert inp.recv() == 3
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_overload_shed_newest_same_values_both_models(model):
+    out, inp, close, dead, shed = make_bounded_pipe(model, _pol("shed_newest"))
+    out.send(1)
+    out.send(2)  # full: the incoming value is shed, the send "succeeds"
+    assert shed() == 1
+    assert [l.value for l in dead()] == [2]
+    assert {l.policy for l in dead()} == {"shed_newest"}
+    assert inp.recv() == 1
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_overload_shed_oldest_conserves_values(model):
+    """``shed_oldest`` picks its victim from what the model can reach — the
+    buffered head in the basic model, the oldest *pending op* in the
+    connector model — so the shed value may differ.  The contract is
+    conservation: exactly one value delivered, exactly one dead-lettered,
+    and together they are exactly what was sent."""
+    out, inp, close, dead, shed = make_bounded_pipe(model, _pol("shed_oldest"))
+    out.send(1)
+    out.send(2)
+    assert shed() == 1
+    delivered = inp.recv()
+    shed_values = [l.value for l in dead()]
+    assert sorted([delivered] + shed_values) == [1, 2]
+    close()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_overload_per_call_policy_override(model):
+    out, inp, close, dead, shed = make_bounded_pipe(model)  # default: block
+    out.send("keep")
+    out.send("spill", policy=OverloadPolicy("shed_newest", max_pending=0))
+    assert [l.value for l in dead()] == ["spill"]
+    assert inp.recv() == "keep"
     close()
 
 

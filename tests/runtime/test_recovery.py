@@ -26,6 +26,8 @@ from repro.util.errors import (
 )
 
 OP_TIMEOUT = 5.0
+pytestmark = pytest.mark.fault_stress
+
 JOIN_TIMEOUT = 20.0
 
 FAST = dict(backoff_base=0.001, backoff_factor=1.0, jitter=0.0)
@@ -434,6 +436,82 @@ def test_leave_rejects_foreign_port():
     stranger, _ = mkports(1, 0)
     with pytest.raises(RuntimeProtocolError, match="not connected"):
         conn.leave(stranger[0])
+    conn.close()
+
+
+# --------------------------------------------------------------------------
+# Re-parametrization down to a single surviving party (arity 2 → 1)
+# --------------------------------------------------------------------------
+
+
+def test_arity_2_to_1_with_pending_recv():
+    """2→1 with a receive blocked across the leave: the pending op migrates
+    (same deque object, renamed vertex) and the survivor serves it."""
+    conn = library.connector("Merger", 2, default_timeout=OP_TIMEOUT)
+    outs, ins = mkports(2, 1)
+    conn.connect(outs, ins)
+    got: list = []
+    t = threading.Thread(target=lambda: got.append(ins[0].recv()))
+    t.start()
+    time.sleep(0.05)  # let the recv commit before the departure
+
+    report = conn.leave(outs[0], task="A")
+    assert not report.dropped_buffers
+    outs[1].send("b1")
+    t.join(JOIN_TIMEOUT)
+    assert got == ["b1"]
+    conn.close()
+
+
+@pytest.mark.parametrize("mode", ["jit", "aot"])
+def test_arity_2_to_1_buffered_value_migrates(mode):
+    """2→1 on a buffering connector with a value in flight: the survivor's
+    fifo content must be *deliverable* after the shrink — the fresh regions'
+    control states are reconciled with the migrated occupancies, not left
+    at their (empty-fifo) initial states."""
+    conn = library.connector(
+        "EarlyAsyncMerger", 2, composition=mode, default_timeout=OP_TIMEOUT
+    )
+    outs, ins = mkports(2, 1)
+    conn.connect(outs, ins)
+    outs[1].send("keep")  # buffered in the survivor's fifo
+
+    report = conn.leave(outs[0], task="A")
+    assert not report.dropped_buffers
+    assert ins[0].recv() == "keep"
+    # The shrunk protocol keeps cycling (state, not just contents, is sane).
+    outs[1].send("next")
+    assert ins[0].recv() == "next"
+    conn.close()
+
+
+def test_arity_3_to_2_buffered_values_migrate():
+    """Same reconciliation at higher arity: both survivors' buffered values
+    stay deliverable after the middle producer departs."""
+    conn = library.connector("EarlyAsyncMerger", 3, default_timeout=OP_TIMEOUT)
+    outs, ins = mkports(3, 1)
+    conn.connect(outs, ins)
+    outs[0].send("first")
+    outs[2].send("third")
+
+    report = conn.leave(outs[1], task="B")
+    assert not report.dropped_buffers
+    assert sorted(ins[0].recv() for _ in range(2)) == ["first", "third"]
+    conn.close()
+
+
+def test_arity_2_to_1_unaccountable_contents_dropped_and_reported():
+    """2→1 where the departed party's protocol state cannot be carried: the
+    alternator's turn-tracking token belongs to the removed index, so it is
+    dropped *and reported* — and the shrunk connector still works."""
+    conn = library.connector("Alternator", 2, default_timeout=OP_TIMEOUT)
+    outs, ins = mkports(2, 1)
+    conn.connect(outs, ins)
+
+    report = conn.leave(outs[1], task="B")
+    assert report.dropped_buffers, "lost token must be reported, not silent"
+    outs[0].send("x")
+    assert ins[0].recv() == "x"
     conn.close()
 
 
