@@ -18,6 +18,11 @@ Subcommands::
     python -m repro list
         list the built-in library connectors
 
+    python -m repro obs [--example overload_shedding_farm | --connector NAME -n N]
+                        [--format prometheus|json|chrome-trace|all] [-o OUT]
+        run an observed scenario and export its metrics/trace
+        (docs/OBSERVABILITY.md has the full recipe)
+
     python -m repro fig12 / fig13 ...
         the benchmark runners (same flags as python -m repro.bench.fig12/13)
 
@@ -117,6 +122,60 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro.runtime.observe import (
+        render_chrome_trace,
+        render_json,
+        render_prometheus,
+        run_observed_connector,
+        run_observed_farm,
+    )
+
+    if args.connector:
+        run = run_observed_connector(args.connector, args.n, args.window)
+    else:
+        run = run_observed_farm()
+    print(f"scenario: {run.summary}", file=sys.stderr)
+
+    renders = {
+        "prometheus": lambda: render_prometheus(run.registry),
+        "json": lambda: render_json(run.registry),
+        "chrome-trace": lambda: render_chrome_trace(
+            run.tracer.events, run.tracer.t0, run.lanes
+        ),
+    }
+    default_names = {
+        "prometheus": "obs-metrics.prom",
+        "json": "obs-metrics.json",
+        "chrome-trace": "obs-trace.json",
+    }
+
+    def _write(path: pathlib.Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path}", file=sys.stderr)
+
+    if args.format == "all":
+        outdir = pathlib.Path(args.out or ".")
+        for fmt, render in renders.items():
+            _write(outdir / default_names[fmt], render())
+        print(
+            "open the Chrome trace at https://ui.perfetto.dev "
+            "(or chrome://tracing)",
+            file=sys.stderr,
+        )
+        return 0
+    text = renders[args.format]()
+    if args.out:
+        _write(pathlib.Path(args.out), text)
+    elif args.format == "chrome-trace":
+        # A trace is only useful as a loadable file: default the path.
+        _write(pathlib.Path(default_names["chrome-trace"]), text)
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     from repro.connectors import library
 
@@ -181,6 +240,27 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("list", help="list the built-in library connectors")
     p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser(
+        "obs", help="run an observed scenario and export metrics/trace"
+    )
+    p.add_argument(
+        "--example", choices=("overload_shedding_farm",),
+        default="overload_shedding_farm",
+        help="observed example scenario (default)",
+    )
+    p.add_argument("--connector", help="drive a library connector instead")
+    p.add_argument("-n", type=int, default=4,
+                   help="connector arity for --connector (default 4)")
+    p.add_argument("--window", type=float, default=0.25,
+                   help="measurement window (s) for --connector")
+    p.add_argument(
+        "--format", choices=("prometheus", "json", "chrome-trace", "all"),
+        default="all",
+    )
+    p.add_argument("-o", "--out",
+                   help="output file (single format) or directory (all)")
+    p.set_defaults(fn=_cmd_obs)
 
     p = sub.add_parser("reproduce",
                        help="regenerate both evaluation figures")

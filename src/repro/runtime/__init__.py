@@ -30,6 +30,20 @@ from repro.runtime.trace import TraceEvent, TraceRecorder
 from repro.runtime.channels import Channel, ChannelInport, ChannelOutport, channel
 from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFault, assert_recovered
 from repro.runtime.watchdog import StallReport, Watchdog
+from repro.runtime.metrics import (
+    CATALOGUE,
+    CONTRACT_FAMILIES,
+    ChannelMetrics,
+    ConnectorMetrics,
+    MetricsRegistry,
+)
+from repro.runtime.observe import (
+    chrome_trace,
+    render_chrome_trace,
+    render_json,
+    render_prometheus,
+    snapshot,
+)
 
 __all__ = [
     "BufferStore",
@@ -62,4 +76,14 @@ __all__ = [
     "assert_recovered",
     "StallReport",
     "Watchdog",
+    "CATALOGUE",
+    "CONTRACT_FAMILIES",
+    "ChannelMetrics",
+    "ConnectorMetrics",
+    "MetricsRegistry",
+    "chrome_trace",
+    "render_chrome_trace",
+    "render_json",
+    "render_prometheus",
+    "snapshot",
 ]

@@ -32,6 +32,18 @@ honouring ``timeout``), ``fail_fast`` (:class:`OverloadError`), or
 channel's dead-letter buffer (:meth:`Channel.dead_letters`).  The buffer
 bound plays the role the pending-op bound plays on connectors: it is the
 amount of traffic the channel absorbs before the policy kicks in.
+
+Observability mirrors the connector model as well: pass ``metrics=`` (a
+:class:`~repro.runtime.metrics.MetricsRegistry`) to :class:`Channel` /
+:func:`channel` and the pipe emits the cross-model metric families
+(:data:`~repro.runtime.metrics.CONTRACT_FAMILIES` — submissions,
+completions, occupancy, sheds, rejections, retained dead letters) under
+the channel's ``name``, which doubles as both the ``connector`` and
+``vertex`` label (a channel *is* its single source/sink pair).  One
+shed-accounting divergence is inherent and documented (INTERNALS §7):
+``shed_oldest`` on a channel evicts an already-buffered — already counted
+completed — value, so ``submitted == completed`` there and the shed count
+is additional, whereas on a connector a shed send never counts completed.
 """
 
 from __future__ import annotations
@@ -79,6 +91,7 @@ class _Pipe:
         self,
         capacity: int | None = None,
         policy: OverloadPolicy | None = None,
+        metrics=None,
     ):
         if capacity is not None and capacity < 1:
             raise RuntimeProtocolError("channel capacity must be >= 1")
@@ -89,16 +102,29 @@ class _Pipe:
             )
         self.capacity = capacity
         self.policy = policy
+        # ChannelMetrics hook bundle (repro.runtime.metrics) or None; every
+        # hot-path use sits behind one `is not None` check, mutation is
+        # serialized by this pipe's condition lock.
+        self.metrics = metrics
         self.dead = DeadLetterBuffer()
         self._q: deque = deque()
         self._cond = threading.Condition()
         self._ops = 0  # completed puts+gets: the channel's "step" count
+
+    def occupancy(self) -> int:
+        """Messages currently buffered (close sentinels excluded) — what
+        the sampled ``repro_buffer_occupancy`` gauge reads."""
+        with self._cond:
+            return sum(1 for v in self._q if not isinstance(v, _Closed))
 
     def _full(self) -> bool:
         return self.capacity is not None and len(self._q) >= self.capacity
 
     def put(self, value, vertex: str, timeout: float | None = None) -> None:
         with self._cond:
+            mx = self.metrics
+            if mx is not None:
+                mx.op_submitted(True)
             if self._full():
                 pol = self.policy
                 if pol is None or pol.kind == "block":
@@ -115,6 +141,8 @@ class _Pipe:
                                 )
                         self._cond.wait(remaining)
                 elif pol.kind == "fail_fast":
+                    if mx is not None:
+                        mx.rejected()
                     raise OverloadError(
                         vertex,
                         self.capacity,
@@ -128,6 +156,8 @@ class _Pipe:
                         vertex, value, pol.kind, self._ops,
                         pol.dead_letter_capacity,
                     )
+                    if mx is not None:
+                        mx.shed(vertex, pol.kind)
                     return
                 else:  # shed_oldest
                     victim = self._q.popleft()
@@ -140,8 +170,12 @@ class _Pipe:
                             vertex, victim, pol.kind, self._ops,
                             pol.dead_letter_capacity,
                         )
+                        if mx is not None:
+                            mx.shed(vertex, pol.kind)
             self._q.append(value)
             self._ops += 1
+            if mx is not None:
+                mx.op_completed(True)
             self._cond.notify_all()
 
     def put_sentinel(self, sentinel: _Closed) -> None:
@@ -151,6 +185,9 @@ class _Pipe:
 
     def get(self, timeout: float | None = None):
         with self._cond:
+            mx = self.metrics
+            if mx is not None:
+                mx.op_submitted(False)
             deadline = None if timeout is None else time.monotonic() + timeout
             while not self._q:
                 remaining = None
@@ -165,11 +202,16 @@ class _Pipe:
                 self._q.appendleft(value)
             else:
                 self._ops += 1
+                if mx is not None:
+                    mx.op_completed(False)
             self._cond.notify_all()
             return value
 
     def get_nowait(self):
         with self._cond:
+            mx = self.metrics
+            if mx is not None:
+                mx.op_submitted(False)
             if not self._q:
                 raise _Empty
             value = self._q.popleft()
@@ -177,6 +219,8 @@ class _Pipe:
                 self._q.appendleft(value)
             else:
                 self._ops += 1
+                if mx is not None:
+                    mx.op_completed(False)
             self._cond.notify_all()
             return value
 
@@ -331,21 +375,35 @@ class ChannelInport(_ChannelPort):
 
 class Channel:
     """A point-to-point channel (paper Fig. 1, ``Channel``) — unbounded by
-    default; ``capacity``/``policy`` opt into the overload model."""
+    default; ``capacity``/``policy`` opt into the overload model, and
+    ``metrics`` (a :class:`~repro.runtime.metrics.MetricsRegistry`) into
+    the observability one (``name`` is the metric label; auto-generated
+    when omitted)."""
 
     def __init__(
         self,
         capacity: int | None = None,
         policy: OverloadPolicy | None = None,
+        metrics=None,
+        name: str = "",
     ):
         self.capacity = capacity
         self.policy = policy
+        self.name = name or f"ch{next(_channel_ids)}"
+        if metrics is not None:
+            from repro.runtime.metrics import ChannelMetrics
+
+            self._metrics = ChannelMetrics(metrics, self.name)
+        else:
+            self._metrics = None
         self._pipe: _Pipe | None = None
 
     def connect(self, out: ChannelOutport, inp: ChannelInport) -> None:
         if out._queue is not None or inp._queue is not None:
             raise PortClosedError("channel port already connected")
-        self._pipe = _Pipe(self.capacity, self.policy)
+        self._pipe = _Pipe(self.capacity, self.policy, metrics=self._metrics)
+        if self._metrics is not None:
+            self._metrics.attach_pipe(self._pipe)
         out._queue = self._pipe
         inp._queue = self._pipe
 
@@ -364,8 +422,10 @@ class Channel:
 def channel(
     capacity: int | None = None,
     policy: OverloadPolicy | None = None,
+    metrics=None,
+    name: str = "",
 ) -> tuple[ChannelOutport, ChannelInport]:
     """Convenience: a connected (outport, inport) pair."""
     out, inp = ChannelOutport(), ChannelInport()
-    Channel(capacity, policy).connect(out, inp)
+    Channel(capacity, policy, metrics=metrics, name=name).connect(out, inp)
     return out, inp

@@ -27,7 +27,12 @@ linked to outports/inports), and execution options:
   pre-overload ``block`` behaviour.  Shed values are queryable through
   :meth:`RuntimeConnector.dead_letters` / :meth:`~RuntimeConnector.shed_count`,
   and :meth:`RuntimeConnector.drain` shuts the instance down gracefully —
-  refuse new sends, flush buffered values, close ports in dependency order.
+  refuse new sends, flush buffered values, close ports in dependency order;
+* ``metrics`` — a :class:`~repro.runtime.metrics.MetricsRegistry`: the
+  connector then emits the structured metrics catalogued in
+  docs/OBSERVABILITY.md (steps, latencies, queue depths, sheds, …) under
+  its ``name`` as the ``connector`` label.  Off by default, and free when
+  off (single-branch hot-path guards, see docs/INTERNALS.md §8).
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from repro.automata.partition import partition_automata
 from repro.automata.product import merged_buffers, product
 from repro.runtime.buffers import BufferStore
 from repro.runtime.engine import CoordinatorEngine, EagerRegion, LazyRegion
+from repro.runtime.metrics import ConnectorMetrics, MetricsRegistry
 from repro.runtime.overload import OverloadPolicy
 from repro.runtime.ports import Inport, Outport
 from repro.util.errors import ProtocolTimeoutError, RuntimeProtocolError
@@ -75,6 +81,7 @@ class RuntimeConnector(Connector):
         default_timeout: float | None = None,
         detection_grace: float = 0.05,
         overload: OverloadPolicy | dict[str, OverloadPolicy] | None = None,
+        metrics: MetricsRegistry | None = None,
         name: str = "",
     ):
         if composition not in ("jit", "aot"):
@@ -93,6 +100,12 @@ class RuntimeConnector(Connector):
         self.default_timeout = default_timeout
         self.detection_grace = detection_grace
         self.overload = overload
+        self.metrics = metrics
+        self._metrics = (
+            ConnectorMetrics(metrics, name or "connector")
+            if metrics is not None
+            else None
+        )
         self.name = name
         self.engine: CoordinatorEngine | None = None
 
@@ -154,6 +167,7 @@ class RuntimeConnector(Connector):
             default_timeout=self.default_timeout,
             detection_grace=self.detection_grace,
             overload=self.overload,
+            metrics=self._metrics,
         )
         if self.composition == "aot":
             # The existing approach compiles every transition's firing plan

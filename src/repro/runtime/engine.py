@@ -47,6 +47,15 @@ behaviour.  :meth:`begin_drain` flips the engine into *draining* mode —
 new sends are refused with :class:`PortClosedError` while receives keep
 flushing buffered values; :attr:`drained` reports when everything user-
 visible has left the protocol (see :meth:`RuntimeConnector.drain`).
+
+Observability
+-------------
+When constructed with ``metrics=`` (a
+:class:`~repro.runtime.metrics.ConnectorMetrics` hook bundle), the engine
+counts submissions, firings, completion latencies, scan effort, sheds, and
+rejections, and exposes queue depths / buffer occupancy as sampled gauges —
+all behind single ``if self._metrics is not None`` guards so the
+unobserved hot path is unchanged (design notes: docs/INTERNALS.md §8).
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ from repro.automata.constraint import DEFAULT_REGISTRY, FunctionRegistry
 from repro.automata.lazy import LazyProduct
 from repro.automata.simplify import FiringPlan, commandify
 from repro.runtime.buffers import BufferStore
+from repro.runtime.metrics import LATENCY_STRIDE
 from repro.runtime.overload import DeadLetterBuffer, OverloadPolicy
 from repro.runtime.recovery import Checkpoint, RegionState
 from repro.runtime.trace import render_deadlock_diagnostic
@@ -77,6 +87,11 @@ from repro.util.errors import (
 
 #: How long a blocked operation waits between deadlock/timeout re-checks.
 _WAIT_TICK = 0.1
+
+#: Bitmask for the sampled latency histogram (LATENCY_STRIDE is a power
+#: of two; ``steps & mask == 0`` is measurably cheaper than ``%``).
+_LAT_MASK = LATENCY_STRIDE - 1
+assert LATENCY_STRIDE & _LAT_MASK == 0, "LATENCY_STRIDE must be a power of two"
 
 
 class _Op:
@@ -208,6 +223,7 @@ class CoordinatorEngine:
         default_timeout: float | None = None,
         detection_grace: float = 0.05,
         overload: "OverloadPolicy | dict[str, OverloadPolicy] | None" = None,
+        metrics=None,
     ):
         self.regions = list(regions)
         self.buffers = buffers
@@ -216,6 +232,10 @@ class CoordinatorEngine:
         self.registry = registry or DEFAULT_REGISTRY
         self.expected_parties = expected_parties
         self.tracer = tracer
+        # ConnectorMetrics hook bundle (repro.runtime.metrics) or None.
+        # Every hot-path use is guarded by one `is not None` check, so an
+        # unobserved engine runs the pre-observability code path.
+        self._metrics = metrics
         self.default_timeout = default_timeout
         self.detection_grace = detection_grace
 
@@ -248,12 +268,16 @@ class CoordinatorEngine:
 
         self._plans: dict[tuple, FiringPlan] = {}
         self.steps = 0  # global execution steps fired (the Fig. 12 metric)
+        self._scan_count = 0  # candidates examined before fired steps (metrics)
 
         # Map each vertex to the region that owns it (for close bookkeeping).
         self._owner: dict[str, EagerRegion | LazyRegion] = {}
         for r in self.regions:
             for v in r.vertices:
                 self._owner[v] = r
+
+        if metrics is not None:
+            metrics.attach_engine(self)
 
         # Fire anything enabled from the very start (e.g. token rings with
         # initialized fifos feeding internal vertices).
@@ -598,6 +622,10 @@ class CoordinatorEngine:
             for r in self.regions:
                 for v in r.vertices:
                     self._owner[v] = r
+            if self._metrics is not None:
+                # The boundary signature changed: rebind the per-vertex
+                # metric children and sampled gauges to the new vertex set.
+                self._metrics.attach_engine(self)
             self._drain()
             self._cond.notify_all()
 
@@ -632,6 +660,11 @@ class CoordinatorEngine:
                     f"vertex {op.vertex!r} rejected: connector draining"
                 )
             self._mark_active(op.vertex)
+            mx = self._metrics
+            if mx is not None:
+                child = (mx.sub_send if is_send else mx.sub_recv).get(op.vertex)
+                if child is not None:  # vertex unknown only mid-reconfigure
+                    child.value += 1.0
             queue.append(op)
             self._drain()
             if op.done:
@@ -661,6 +694,11 @@ class CoordinatorEngine:
             op.t_enq = time.monotonic()
             op.steps_enq = self.steps
             self._mark_active(op.vertex, op.t_enq)
+            mx = self._metrics
+            if mx is not None:
+                child = (mx.sub_send if is_send else mx.sub_recv).get(op.vertex)
+                if child is not None:  # vertex unknown only mid-reconfigure
+                    child.value += 1.0
             queue.append(op)
             self._drain()
             if op.done:
@@ -710,6 +748,8 @@ class CoordinatorEngine:
         """
         if pol.kind == "fail_fast":
             queue.remove(op)
+            if self._metrics is not None:
+                self._metrics.rejected(op.vertex)
             raise OverloadError(op.vertex, pol.max_pending)
         if pol.kind == "shed_newest":
             victim = op
@@ -720,6 +760,8 @@ class CoordinatorEngine:
             victim.vertex, victim.value, pol.kind, self.steps,
             pol.dead_letter_capacity,
         )
+        if self._metrics is not None:
+            self._metrics.shed(victim.vertex, pol.kind)
         victim.done = True
         if victim is not op:
             self._cond.notify_all()
@@ -898,6 +940,8 @@ class CoordinatorEngine:
         n = len(steps)
         if n == 0:
             return False
+        mx = self._metrics
+        observing = mx is not None or self.tracer is not None
         start = region.rr % n
         for k in range(n):
             step = steps[(start + k) % n]
@@ -931,36 +975,75 @@ class CoordinatorEngine:
             deliveries = plan.commit(self.buffers, slots)
             completed_sends: list[str] = []
             completed_recvs: list[str] = []
+            tracing = self.tracer is not None
+            enq = [] if tracing else None
+            # The latency histogram samples every LATENCY_STRIDE-th fired
+            # step: a full observe per step is the single largest metric
+            # cost, and the distribution doesn't need every step.
+            want_lat = mx is not None and self.steps & _LAT_MASK == 0
+            nops = 0
+            min_te = 0.0  # oldest t_enq among completed stamped ops
             for v in label:
                 sq = self._pending_send.get(v)
                 if sq is not None:
                     op = sq.popleft()
                     op.done = True
                     completed_sends.append(v)
-                    continue
-                rq = self._pending_recv.get(v)
-                if rq is not None:
+                else:
+                    rq = self._pending_recv.get(v)
+                    if rq is None:
+                        continue
                     op = rq.popleft()
                     op.value = deliveries.get(v)
                     op.done = True
                     completed_recvs.append(v)
+                if mx is not None:
+                    # Inline (no call frames): at ~10 µs/step the metric
+                    # budget is a few hundred ns (bench_observe.py).
+                    child = mx.done.get(v)
+                    if child is not None:
+                        child.value += 1.0
+                    if want_lat:
+                        nops += 1
+                        te = op.t_enq
+                        if te and (not min_te or te < min_te):
+                            min_te = te
+                if enq is not None:
+                    enq.append((v, op.t_enq))
             region.advance(step)
             region.rr = (start + k + 1) % n
             self.steps += 1
-            if self._vertex_party:
-                now = time.monotonic()
-                for v in completed_sends:
-                    self._mark_active(v, now)
-                for v in completed_recvs:
-                    self._mark_active(v, now)
-            if self.tracer is not None:
-                self.tracer.record(
-                    self.regions.index(region),
-                    label,
-                    completed_sends,
-                    completed_recvs,
-                    tuple(deliveries.items()),
-                )
+            if observing or self._vertex_party:
+                # One clock read per fired step, shared by liveness
+                # stamping, the latency histogram, and the tracer.
+                t = time.monotonic()
+                if self._vertex_party:
+                    for v in completed_sends:
+                        self._mark_active(v, t)
+                    for v in completed_recvs:
+                        self._mark_active(v, t)
+                if mx is not None:
+                    # Plain int: pull-sampled (with engine.steps) at
+                    # collect time, so step totals cost the hot path
+                    # nothing beyond this add.
+                    self._scan_count += k + 1
+                    if nops:
+                        # Age of the oldest completed op; 0.0 when every
+                        # completed op was non-blocking (t_enq unstamped).
+                        mx.latency_child.observe(
+                            t - min_te if min_te else 0.0)
+                if tracing:
+                    self.tracer.record(
+                        self.regions.index(region),
+                        label,
+                        completed_sends,
+                        completed_recvs,
+                        tuple(deliveries.items()),
+                        t=t,
+                        waits=tuple(
+                            (v, t - te if te else 0.0) for v, te in enq
+                        ),
+                    )
             self._cond.notify_all()
             return True
         return False

@@ -143,6 +143,13 @@ class DeadLetterBuffer:
                 return self._counts.get(vertex, 0)
             return sum(self._counts.values())
 
+    def retained(self) -> dict[str, int]:
+        """Dead letters currently held per vertex (excludes evicted ones —
+        :meth:`count` keeps the exact totals).  This is what the sampled
+        ``repro_overload_dead_letters`` gauge reads at collect time."""
+        with self._lock:
+            return {v: len(q) for v, q in self._by_vertex.items() if q}
+
     def remap(self, vertex_map: dict[str, str]) -> None:
         """Rename vertices across a re-parametrization; letters of vertices
         that left the signature are kept under their old names (they record

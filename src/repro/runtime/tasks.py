@@ -290,6 +290,7 @@ class SupervisedTaskGroup(TaskGroup):
         close_ports_on_exit: bool = False,
         restart_policy: RestartPolicy | None = None,
         on_departure: str = "fail",
+        metrics=None,
     ):
         super().__init__(join_timeout)
         if on_departure not in ("fail", "reparametrize"):
@@ -302,6 +303,14 @@ class SupervisedTaskGroup(TaskGroup):
         self.on_departure = on_departure
         self.departures: list = []  # DepartureReports, in failure order
         self._shutdown = False
+        # Supervision metrics (repro.runtime.metrics.TaskMetrics) — crashes
+        # by cause, restarts, departures, quarantines.  All cold-path.
+        if metrics is not None:
+            from repro.runtime.metrics import TaskMetrics
+
+            self._metrics = TaskMetrics(metrics)
+        else:
+            self._metrics = None
 
     def spawn(
         self, fn: Callable, *args, ports: Iterable = (), name: str = "", **kwargs
@@ -339,6 +348,8 @@ class SupervisedTaskGroup(TaskGroup):
                     p.release_owner()
             record._done.set()
             return
+        if self._metrics is not None:
+            self._metrics.crashed(record.name, exc)
         policy = self.restart_policy
         attempt = record.restarts + 1
         if (
@@ -349,6 +360,8 @@ class SupervisedTaskGroup(TaskGroup):
             record.restarts = attempt
             time.sleep(policy.delay(record.name, attempt))
             if not self._shutdown:
+                if self._metrics is not None:
+                    self._metrics.restarted(record.name)
                 record._launch()
                 return
         self._permanent_failure(record, exc)
@@ -357,6 +370,8 @@ class SupervisedTaskGroup(TaskGroup):
         record.exception = exc
         if self.on_departure == "reparametrize" and self._reparametrize(record, exc):
             record.departed = True
+            if self._metrics is not None:
+                self._metrics.departed(record.name)
         else:
             err = PeerFailedError(record.name, exc)
             for p in record.ports:
@@ -413,6 +428,8 @@ class SupervisedTaskGroup(TaskGroup):
         record.exception = exc
         if self._reparametrize(record, exc):
             record.departed = True
+            if self._metrics is not None:
+                self._metrics.quarantined(record.name)
             record._done.set()
             return True
         record._done.set()

@@ -1,11 +1,19 @@
-"""Execution tracing — the library's analogue of Reo's animation engine.
+"""Execution tracing — ordered events, the qualitative half of observability.
 
 The paper's Eclipse toolchain includes an "animation engine" for watching
 data flow through a connector (§V.A).  A :class:`TraceRecorder` attached to
 a connector records every global execution step the engine fires — its
-synchronization set, which boundary operations it completed, and what it
-delivered — giving tests and users an observable, ordered account of a
-protocol run.
+synchronization set, which boundary operations it completed, what it
+delivered, and (since the observability layer) *when*: a wall-clock
+timestamp and the per-operation enqueue-to-fire waits that the Chrome-trace
+exporter (:func:`repro.runtime.observe.chrome_trace`) turns into timed
+spans with per-vertex lanes.
+
+This recorder is the *event-ordered* observability surface; the
+*quantitative* one — counters, gauges, latency histograms — is
+:mod:`repro.runtime.metrics`, and :mod:`repro.runtime.observe` exports both
+(Prometheus text, JSON snapshots, Chrome/Perfetto traces).  See
+docs/OBSERVABILITY.md for the full catalogue and recipes.
 
 Usage::
 
@@ -21,12 +29,20 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One fired global execution step."""
+    """One fired global execution step.
+
+    ``t`` is the firing's wall-clock instant (``time.monotonic``; ``0.0``
+    for events recorded without timing, e.g. by pre-observability callers),
+    and ``waits`` the ``(vertex, seconds)`` enqueue-to-fire age of every
+    boundary operation the step completed — the raw material of the
+    Chrome-trace span exporter.
+    """
 
     seq: int
     region: int
@@ -34,6 +50,8 @@ class TraceEvent:
     completed_sends: tuple[str, ...]
     completed_recvs: tuple[str, ...]
     deliveries: tuple[tuple[str, object], ...]
+    t: float = 0.0
+    waits: tuple[tuple[str, float], ...] = ()
 
     def __str__(self) -> str:
         parts = "{" + ",".join(sorted(self.label)) + "}"
@@ -52,6 +70,9 @@ class TraceRecorder:
 
     def __init__(self, capacity: int = 100_000):
         self.capacity = capacity
+        #: Recording epoch (``time.monotonic``): the zero point the
+        #: Chrome-trace exporter subtracts from every event timestamp.
+        self.t0 = time.monotonic()
         self._events: list[TraceEvent] = []
         self._lock = threading.Lock()
         self._counter = itertools.count()
@@ -66,6 +87,8 @@ class TraceRecorder:
         completed_sends,
         completed_recvs,
         deliveries,
+        t: float | None = None,
+        waits=(),
     ) -> None:
         event = TraceEvent(
             next(self._counter),
@@ -74,6 +97,8 @@ class TraceRecorder:
             tuple(completed_sends),
             tuple(completed_recvs),
             tuple(deliveries),
+            t if t is not None else 0.0,
+            tuple(waits),
         )
         with self._lock:
             self._events.append(event)
@@ -93,6 +118,7 @@ class TraceRecorder:
             self._events.clear()
             self._counter = itertools.count()
             self.dropped = 0
+            self.t0 = time.monotonic()
 
     # -- querying -------------------------------------------------------------
 

@@ -77,6 +77,9 @@ class Watchdog:
     raises are swallowed (a broken callback must not kill liveness
     monitoring).  ``escalate=True`` additionally quarantines the flagged
     task through ``group`` — matching parties to supervised tasks by name.
+    ``metrics=`` (a :class:`~repro.runtime.metrics.MetricsRegistry`) counts
+    each fresh stall episode as ``repro_watchdog_stalls_total{task=...}``;
+    quarantines are counted by the group that performs them (tasks.py).
     """
 
     def __init__(
@@ -87,11 +90,18 @@ class Watchdog:
         on_stall: Callable[[StallReport], None] | None = None,
         group=None,
         escalate: bool = False,
+        metrics=None,
     ):
         if stall_after <= 0:
             raise ValueError("stall_after must be > 0")
         if escalate and group is None:
             raise ValueError("escalate=True needs a group to quarantine through")
+        if metrics is not None:
+            from repro.runtime.metrics import WatchdogMetrics
+
+            self._metrics = WatchdogMetrics(metrics)
+        else:
+            self._metrics = None
         self._engines = []
         for t in targets:
             engine = getattr(t, "engine", None)
@@ -175,6 +185,8 @@ class Watchdog:
                     engine_steps=steps,
                 )
                 fresh.append(report)
+                if self._metrics is not None:
+                    self._metrics.stalled(name)
                 with self._lock:
                     self._reports.append(report)
                 if self.on_stall is not None:

@@ -105,3 +105,32 @@ def test_verify_problems(tmp_path, capsys):
     assert main(["verify", str(src), "--protocol", "Oops"]) == 1
     out = capsys.readouterr().out
     assert "dead-port" in out
+
+
+def test_obs_connector_prometheus(capsys):
+    assert main(["obs", "--connector", "FifoChain", "-n", "3",
+                 "--window", "0.05", "--format", "prometheus"]) == 0
+    captured = capsys.readouterr()
+    assert "repro_engine_steps_total" in captured.out
+    assert 'connector="FifoChain"' in captured.out
+    assert "scenario:" in captured.err
+
+
+@pytest.mark.fault_stress
+def test_obs_farm_all_formats(tmp_path, capsys, monkeypatch):
+    import json
+
+    assert main(["obs", "--example", "overload_shedding_farm",
+                 "--format", "all", "-o", str(tmp_path)]) == 0
+    err = capsys.readouterr().err
+    assert "Perfetto" in err or "perfetto" in err
+    assert (tmp_path / "obs-metrics.prom").exists()
+    assert (tmp_path / "obs-metrics.json").exists()
+    # the Chrome trace must be loadable: valid JSON with the traceEvents
+    # array Perfetto expects, including the steps lane metadata
+    doc = json.loads((tmp_path / "obs-trace.json").read_text())
+    events = doc["traceEvents"]
+    assert any(
+        e["ph"] == "M" and e["args"].get("name") == "steps" for e in events
+    )
+    assert any(e["ph"] == "X" for e in events)

@@ -1,0 +1,41 @@
+"""Regenerate the exporter golden files from the hand-built fixtures.
+
+Run after an *intended* exporter format change::
+
+    PYTHONPATH=src python tests/runtime/golden/regen.py
+
+then eyeball ``git diff tests/runtime/golden`` before committing — these
+files are the format contract that ``test_observe.py`` pins.
+"""
+
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+sys.path.insert(0, str(HERE.parent))
+
+from test_observe import golden_events, golden_registry  # noqa: E402
+
+from repro.runtime.observe import (  # noqa: E402
+    render_chrome_trace,
+    render_json,
+    render_prometheus,
+)
+
+
+def main() -> None:
+    (HERE / "metrics.prom").write_text(render_prometheus(golden_registry()))
+    (HERE / "metrics.json").write_text(render_json(golden_registry()) + "\n")
+    trace = render_chrome_trace(
+        golden_events(), t0=10.0, vertex_parties={"x0": "producer"}
+    )
+    (HERE / "trace.json").write_text(
+        json.dumps(json.loads(trace), indent=2) + "\n"
+    )
+    for name in ("metrics.prom", "metrics.json", "trace.json"):
+        print(f"wrote {HERE / name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""The documentation gate: links resolve, examples run.
+
+Delegates to ``tools/check_docs.py`` (the same entry point CI's docs job
+uses) so local runs and CI cannot disagree about what "docs pass" means.
+The catalogue-completeness half of the docs contract lives next to the
+metrics tests (``tests/runtime/test_observe.py::test_every_metric_documented``).
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.mark.fault_stress  # executes the observed-farm walkthrough block
+def test_docs_links_and_examples():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs.py")],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0, (
+        f"docs check failed:\n{proc.stdout}\n{proc.stderr}"
+    )
