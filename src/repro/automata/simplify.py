@@ -79,6 +79,7 @@ class FiringPlan:
         "deliveries",
         "never",
         "n_slots",
+        "touched",
     )
 
     def __init__(self) -> None:
@@ -92,6 +93,11 @@ class FiringPlan:
         self.deliveries: list[tuple[str, int]] = []
         self.never = False
         self.n_slots = 0
+        # Buffers whose *contents* a commit mutates (pop or push targets,
+        # deduplicated, in effect order).  The engine uses this to signal
+        # regions coupled through a shared decoupled-fifo buffer; guard
+        # probes and peeks don't change contents and don't appear here.
+        self.touched: tuple[str, ...] = ()
 
     def evaluate(self, offers, buffers):
         """Check guards/constraints; return slot values or None."""
@@ -343,4 +349,7 @@ def commandify(
             slot_of_class[root] = slot
         plan.deliveries.append((v, slot))
 
+    plan.touched = tuple(
+        dict.fromkeys(plan.pops + [b for b, _ in plan.pushes])
+    )
     return plan

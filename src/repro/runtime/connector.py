@@ -32,7 +32,12 @@ linked to outports/inports), and execution options:
   connector then emits the structured metrics catalogued in
   docs/OBSERVABILITY.md (steps, latencies, queue depths, sheds, …) under
   its ``name`` as the ``connector`` label.  Off by default, and free when
-  off (single-branch hot-path guards, see docs/INTERNALS.md §8).
+  off (single-branch hot-path guards, see docs/INTERNALS.md §8);
+* ``concurrency`` — ``"regions"`` (default: per-region locking, so the
+  independent regions a partitioned connector compiles to fire on multiple
+  OS threads concurrently) or ``"global"`` (the single-lock serial engine,
+  kept as the honest baseline for ``benchmarks/bench_engine_scaling.py``);
+  see docs/INTERNALS.md §"Engine concurrency model".
 """
 
 from __future__ import annotations
@@ -83,9 +88,14 @@ class RuntimeConnector(Connector):
         overload: OverloadPolicy | dict[str, OverloadPolicy] | None = None,
         metrics: MetricsRegistry | None = None,
         name: str = "",
+        concurrency: str = "regions",
     ):
         if composition not in ("jit", "aot"):
             raise ValueError(f"composition must be 'jit' or 'aot', not {composition!r}")
+        if concurrency not in ("regions", "global"):
+            raise ValueError(
+                f"concurrency must be 'regions' or 'global', not {concurrency!r}"
+            )
         self.automata = list(automata)
         self.tail_vertices = list(tail_vertices)
         self.head_vertices = list(head_vertices)
@@ -100,6 +110,7 @@ class RuntimeConnector(Connector):
         self.default_timeout = default_timeout
         self.detection_grace = detection_grace
         self.overload = overload
+        self.concurrency = concurrency
         self.metrics = metrics
         self._metrics = (
             ConnectorMetrics(metrics, name or "connector")
@@ -168,6 +179,7 @@ class RuntimeConnector(Connector):
             detection_grace=self.detection_grace,
             overload=self.overload,
             metrics=self._metrics,
+            concurrency=self.concurrency,
         )
         if self.composition == "aot":
             # The existing approach compiles every transition's firing plan

@@ -11,17 +11,47 @@ region is either
   expanded just-in-time (the new approach, §IV.D).
 
 Execution model (caller-driven, as in compiled Reo): a task's send/recv
-registers a pending operation under the engine lock and then *drains* —
-repeatedly firing enabled transitions until quiescence — before blocking on
-a condition variable.  Every firing completes the operations of the boundary
-vertices in its label and may enable further transitions (including internal
-τ-steps with empty labels, which the drain loop also fires).
+registers a pending operation and then *drains* — repeatedly firing enabled
+transitions until quiescence — before blocking.  Every firing completes the
+operations of the boundary vertices in its label and may enable further
+transitions (including internal τ-steps with empty labels, which the drain
+loop also fires).
 
-Transition plans (see :mod:`repro.automata.simplify`) are compiled on first
-use and memoized by ``(label, atoms, effects)``; eager regions precompile
-all plans at construction (the existing compiler's compile-time
-optimization), lazy regions amortize planning over repeated firings (the
-"not yet implemented" improvement the paper suggests for the new approach).
+Concurrency model (docs/INTERNALS.md §"Engine concurrency model")
+-----------------------------------------------------------------
+Regions are the unit of concurrency.  The partitioning optimization (paper
+§V.C point 3) guarantees that distinct regions share no vertices — they
+interact only through the buffers of decoupled fifo halves, and each such
+buffer has exactly one pushing and one popping region.  The engine exploits
+that independence:
+
+* a **vertex→region routing table** (``_route``, built at construction)
+  sends every submission straight to the owning region;
+* **per-region locks**: a submission takes only its region's lock, drains
+  only its region, and signals regions coupled through a shared buffer by
+  marking them *dirty* and chasing them afterwards (one lock at a time) —
+  independent regions fire concurrently on separate OS threads;
+* **incremental candidate scanning**: each region maintains its
+  pending-vertex set (``region.pend``) as ops enqueue/dequeue, so
+  :meth:`_fire_one` never rebuilds a global pending list, and a region
+  whose dirty flag is clear is skipped without any scan at all;
+* **per-party wakeup slots**: every blocked operation carries its own
+  :class:`threading.Event`, set when a firing completes (or fails) exactly
+  that operation — no global ``notify_all`` thundering herd.
+
+Lock order (outermost first): the registry lock ``_lock`` → region locks in
+ascending ``region.idx`` → leaf locks (tracer, dead-letter buffer, the
+metrics stat lock).  The submission hot path takes a single region lock and
+nothing above it; cold paths (close, checkpoint/restore, reconfigure,
+drain-mode flips, party registration, deadlock delivery) stop the world by
+taking ``_lock`` plus every region lock, which is also what lets the
+deadlock detector aggregate a consistent snapshot across regions without
+deadlocking against the hot path.
+
+``concurrency="global"`` preserves the pre-region-parallel engine — one
+shared lock, a global rescan per firing attempt, condition-variable
+broadcasts — as an honest same-workload baseline for
+``benchmarks/bench_engine_scaling.py``.
 
 Fault tolerance
 ---------------
@@ -100,9 +130,13 @@ class _Op:
     ``t_enq``/``steps_enq`` record when the op entered its queue (wall
     clock and engine step count) — the watchdog's raw material for telling
     a *stalled* party (old op, engine still firing) from a deadlock.
+    ``event`` is the op's private wakeup slot: installed only when the
+    submitter actually blocks, set exactly when a firing (or a failure)
+    resolves this op.
     """
 
-    __slots__ = ("vertex", "value", "done", "error", "t_enq", "steps_enq")
+    __slots__ = ("vertex", "value", "done", "error", "t_enq", "steps_enq",
+                 "event")
 
     def __init__(self, vertex: str, value=None):
         self.vertex = vertex
@@ -111,6 +145,7 @@ class _Op:
         self.error: Exception | None = None
         self.t_enq = 0.0
         self.steps_enq = 0
+        self.event: threading.Event | None = None
 
 
 class _Party:
@@ -134,18 +169,59 @@ class _Party:
         self.steps_active = 0
 
 
-class EagerRegion:
+class _RegionRuntime:
+    """Runtime fields the engine stamps onto every region it adopts.
+
+    Kept in a mixin so regions built directly (tests, tools) still carry
+    sane defaults before an engine adopts them.
+    """
+
+    def _init_runtime(self) -> None:
+        #: Position in ``engine.regions`` — stable identity for the tracer
+        #: and checkpoint code (no O(#regions) ``list.index`` on the hot
+        #: path).
+        self.idx = 0
+        #: This region's lock (``concurrency="global"`` shares one lock
+        #: across all regions).  Assigned by the adopting engine.
+        self.lock: threading.Lock | None = None
+        #: Incrementally maintained pending-vertex set (insertion-ordered
+        #: dict used as an ordered set, for deterministic candidate order).
+        self.pend: dict[str, None] = {}
+        #: Set when this region may have a newly enabled transition
+        #: (an op enqueued, or a shared buffer changed); cleared by the
+        #: drain that scans it.  A clean region is skipped without a scan.
+        self.dirty = False
+        #: False once a reconfigure replaced this region — a late chaser
+        #: must not fire on discarded protocol structure.
+        self.live = True
+        #: Steps fired by this region (``engine.steps`` sums these).
+        self.fired = 0
+        #: Candidates examined before fired steps (metrics; advanced only
+        #: when metered, like the pre-region ``_scan_count``).
+        self.scanned = 0
+
+
+class EagerRegion(_RegionRuntime):
     """Region backed by a fully composed automaton + global index."""
 
     def __init__(self, automaton: ConstraintAutomaton):
         self.automaton = automaton
         self.index = GlobalIndex(automaton)
         self.state: int = automaton.initial
-        self.rr = 0  # round-robin cursor for fairness
+        # Per-state round-robin cursors for fairness (see _fire_one): a
+        # cursor is an index into one state's candidate list, so sharing a
+        # single cursor across states aliases lists of different length and
+        # order — which is exactly what starved a competing sender behind a
+        # resonating pair (the pre-region engine's rr drift bug).
+        self.cursors: dict = {}
+        self._init_runtime()
 
     @property
     def vertices(self) -> frozenset[str]:
         return self.automaton.vertices
+
+    def buffer_names(self) -> frozenset[str]:
+        return frozenset(b.name for b in self.automaton.buffers)
 
     def outgoing(self):
         return self.automaton.outgoing(self.state)
@@ -166,17 +242,24 @@ class EagerRegion:
         self.state = step.target
 
 
-class LazyRegion:
+class LazyRegion(_RegionRuntime):
     """Region backed by a just-in-time product."""
 
     def __init__(self, lazy: LazyProduct):
         self.lazy = lazy
         self.state = lazy.initial
-        self.rr = 0
+        self.cursors: dict = {}  # per-state fairness cursors (see EagerRegion)
+        self._init_runtime()
 
     @property
     def vertices(self) -> frozenset[str]:
         return self.lazy.vertices
+
+    def buffer_names(self) -> frozenset[str]:
+        names: set[str] = set()
+        for a in self.lazy.automata:
+            names.update(b.name for b in a.buffers)
+        return frozenset(names)
 
     def outgoing(self):
         return self.lazy.outgoing(self.state)
@@ -208,7 +291,9 @@ class CoordinatorEngine:
       because it tracks party exits precisely.
 
     ``default_timeout`` bounds every blocking operation that does not pass
-    its own ``timeout``.
+    its own ``timeout``.  ``concurrency`` selects ``"regions"`` (per-region
+    locking, the default) or ``"global"`` (the single-lock baseline); see
+    the module docstring.
     """
 
     def __init__(
@@ -224,8 +309,14 @@ class CoordinatorEngine:
         detection_grace: float = 0.05,
         overload: "OverloadPolicy | dict[str, OverloadPolicy] | None" = None,
         metrics=None,
+        concurrency: str = "regions",
     ):
-        self.regions = list(regions)
+        if concurrency not in ("regions", "global"):
+            raise ValueError(
+                f"concurrency must be 'regions' or 'global', not {concurrency!r}"
+            )
+        self.concurrency = concurrency
+        self._serial = concurrency == "global"
         self.buffers = buffers
         self.sources = sources
         self.sinks = sinks
@@ -239,8 +330,21 @@ class CoordinatorEngine:
         self.default_timeout = default_timeout
         self.detection_grace = detection_grace
 
+        # Registry lock — outermost in the lock order.  Guards the party
+        # registry, the blocked-waiter count, and the deadlock suspect;
+        # cold paths additionally take every region lock under it.
         self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
+        # Shared firing lock + condvar for concurrency="global" (None in
+        # region mode, where each blocked op has its own Event).
+        self._shared_lock = threading.Lock() if self._serial else None
+        self._cond = (
+            threading.Condition(self._shared_lock) if self._serial else None
+        )
+        # Leaf locks: shared metric structures (latency histogram, shed /
+        # rejected memo dicts) and cross-region trace causality.
+        self._stat_lock = threading.Lock()
+        self._trace_lock = threading.Lock()
+
         self._pending_send: dict[str, deque[_Op]] = {v: deque() for v in sources}
         self._pending_recv: dict[str, deque[_Op]] = {v: deque() for v in sinks}
         self._closed_vertices: set[str] = set()
@@ -267,14 +371,14 @@ class CoordinatorEngine:
         self._suspect: tuple | None = None
 
         self._plans: dict[tuple, FiringPlan] = {}
-        self.steps = 0  # global execution steps fired (the Fig. 12 metric)
-        self._scan_count = 0  # candidates examined before fired steps (metrics)
+        # steps/scan totals are summed over the live regions plus a base
+        # carried across restore/reconfigure; _steps_approx is a racily
+        # maintained shortcut for hot-path liveness stamps.
+        self._steps_base = 0
+        self._scan_base = 0
+        self._steps_approx = 0
 
-        # Map each vertex to the region that owns it (for close bookkeeping).
-        self._owner: dict[str, EagerRegion | LazyRegion] = {}
-        for r in self.regions:
-            for v in r.vertices:
-                self._owner[v] = r
+        self._adopt_regions(regions)
 
         if metrics is not None:
             metrics.attach_engine(self)
@@ -282,7 +386,14 @@ class CoordinatorEngine:
         # Fire anything enabled from the very start (e.g. token rings with
         # initialized fifos feeding internal vertices).
         with self._lock:
-            self._drain()
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                for r in self.regions:
+                    r.dirty = True
+                self._drain_all_locked()
+            finally:
+                self._release(locks)
 
     # ------------------------------------------------------------------ API
 
@@ -357,66 +468,175 @@ class CoordinatorEngine:
         armed: all registered parties blocked + quiescent engine (stable for
         ``detection_grace`` seconds) fails every blocked operation.
         """
-        with self._cond:
-            party = self._parties.get(key)
-            if party is None:
-                party = self._parties[key] = _Party(name)
-            party.refs += 1
-            if name and not party.name:
-                party.name = name
-            if vertex is not None:
-                party.vertices.add(vertex)
-                self._vertex_party[vertex] = party
-            party.last_active = time.monotonic()
-            party.steps_active = self.steps
-            self._party_gen += 1
-            self._suspect = None
+        with self._lock:
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                party = self._parties.get(key)
+                if party is None:
+                    party = self._parties[key] = _Party(name)
+                party.refs += 1
+                if name and not party.name:
+                    party.name = name
+                if vertex is not None:
+                    party.vertices.add(vertex)
+                    self._vertex_party[vertex] = party
+                party.last_active = time.monotonic()
+                party.steps_active = self._steps_approx
+                self._party_gen += 1
+                self._suspect = None
+            finally:
+                self._release(locks)
 
     def unregister_party(self, key, vertex: str | None = None) -> None:
         """Drop one registration of ``key`` (a party exits, or one of its
         ports closes).  Wakes blocked waiters so detection re-evaluates
         against the smaller party set."""
-        with self._cond:
-            party = self._parties.get(key)
-            if party is None:
-                return
-            if vertex is not None:
-                party.vertices.discard(vertex)
-                if self._vertex_party.get(vertex) is party:
-                    del self._vertex_party[vertex]
-            party.refs -= 1
-            if party.refs <= 0:
-                del self._parties[key]
-            self._party_gen += 1
-            self._suspect = None
-            self._cond.notify_all()
+        with self._lock:
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                party = self._parties.get(key)
+                if party is None:
+                    return
+                if vertex is not None:
+                    party.vertices.discard(vertex)
+                    if self._vertex_party.get(vertex) is party:
+                        del self._vertex_party[vertex]
+                party.refs -= 1
+                if party.refs <= 0:
+                    del self._parties[key]
+                self._party_gen += 1
+                self._suspect = None
+                self._wake_all_locked()
+            finally:
+                self._release(locks)
 
     def close_vertex(self, vertex: str, error: Exception | None = None) -> None:
         """Close one boundary vertex.  Pending and future operations on it
         fail with ``error`` (default :class:`PortClosedError`); a
         :class:`PeerFailedError` is additionally remembered so that peers
         detected as stuck later blame the dead task, not a bare deadlock."""
-        with self._cond:
-            self._closed_vertices.add(vertex)
-            if error is not None:
-                self._vertex_errors[vertex] = error
-                if isinstance(error, PeerFailedError):
-                    self._peer_failures.append(error)
-            self._fail_queue(self._pending_send.get(vertex), error)
-            self._fail_queue(self._pending_recv.get(vertex), error)
-            self._suspect = None
-            self._cond.notify_all()
+        with self._lock:
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                self._closed_vertices.add(vertex)
+                if error is not None:
+                    self._vertex_errors[vertex] = error
+                    if isinstance(error, PeerFailedError):
+                        self._peer_failures.append(error)
+                self._fail_queue(self._pending_send.get(vertex), error)
+                self._fail_queue(self._pending_recv.get(vertex), error)
+                region = self._route.get(vertex)
+                if region is not None:
+                    region.pend.pop(vertex, None)
+                self._suspect = None
+                self._wake_all_locked()
+            finally:
+                self._release(locks)
 
     def close(self) -> None:
         """Shut the whole connector down; all blocked tasks get
         :class:`PortClosedError`."""
-        with self._cond:
-            self._closed = True
-            for q in self._pending_send.values():
-                self._fail_queue(q)
-            for q in self._pending_recv.values():
-                self._fail_queue(q)
+        with self._lock:
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                self._closed = True
+                for q in self._pending_send.values():
+                    self._fail_queue(q)
+                for q in self._pending_recv.values():
+                    self._fail_queue(q)
+                for r in self.regions:
+                    r.pend.clear()
+                self._wake_all_locked()
+            finally:
+                self._release(locks)
+
+    # --------------------------------------------------- region plumbing
+
+    def _adopt_regions(self, regions: Sequence[EagerRegion | LazyRegion]) -> None:
+        """Stamp runtime fields onto ``regions`` and rebuild the routing
+        table, the shared-buffer watcher map, and the ordered lock list.
+        Callers other than ``__init__`` hold ``_lock`` plus every *old*
+        region lock."""
+        self.regions = list(regions)
+        route: dict[str, EagerRegion | LazyRegion] = {}
+        watchers: dict[str, list] = {}
+        for i, r in enumerate(self.regions):
+            r.idx = i
+            r.lock = self._shared_lock if self._serial else threading.Lock()
+            r.pend = {}
+            r.dirty = False
+            r.live = True
+            r.fired = 0
+            r.scanned = 0
+            for v in r.vertices:
+                route[v] = r
+            for b in r.buffer_names():
+                watchers.setdefault(b, []).append(r)
+        if self.regions:
+            # Boundary vertices can drop out of eager region vertex sets
+            # (hide() keeps only label-visible ones); route them to the
+            # first region so submissions never dangle.
+            fallback = self.regions[0]
+            for v in self.sources:
+                route.setdefault(v, fallback)
+            for v in self.sinks:
+                route.setdefault(v, fallback)
+        self._route = route
+        # Only buffers visible to >1 region need cross-region signalling;
+        # single-region connectors keep an empty map and skip the whole
+        # watcher walk after every firing.
+        self._watchers: dict[str, tuple] = {
+            b: tuple(rs) for b, rs in watchers.items() if len(rs) > 1
+        }
+        seen: set[int] = set()
+        ordered = []
+        for r in self.regions:
+            if id(r.lock) not in seen:
+                seen.add(id(r.lock))
+                ordered.append(r.lock)
+        self._all_locks: tuple = tuple(ordered)
+
+    @staticmethod
+    def _acquire(locks) -> None:
+        for lock in locks:
+            lock.acquire()
+
+    @staticmethod
+    def _release(locks) -> None:
+        for lock in reversed(locks):
+            lock.release()
+
+    def _acquire_owner(self, vertex: str):
+        """Lock and return the region owning ``vertex``, re-resolving the
+        route until it is stable (a reconfigure may swap regions between
+        the lookup and the acquire).  Returns ``None`` when the vertex left
+        the signature."""
+        while True:
+            region = self._route.get(vertex)
+            if region is None:
+                return None
+            region.lock.acquire()
+            if self._route.get(vertex) is region:
+                return region
+            region.lock.release()
+
+    def _wake_all_locked(self) -> None:
+        """Wake every parked submitter (all region locks held): broadcast
+        in serial mode, per-op events in region mode.  Spurious wakes are
+        fine — waiters re-check their op and the deadlock detector."""
+        if self._serial:
             self._cond.notify_all()
+            return
+        for qmap in (self._pending_send, self._pending_recv):
+            for q in qmap.values():
+                for op in q:
+                    ev = op.event
+                    if ev is not None:
+                        ev.set()
 
     # ------------------------------------------------------- recovery layer
 
@@ -426,13 +646,41 @@ class CoordinatorEngine:
         )
 
     @property
+    def steps(self) -> int:
+        """Global execution steps fired (the Fig. 12 metric) — the sum of
+        the per-region counters plus the base carried across restores."""
+        return self._steps_base + sum(r.fired for r in self.regions)
+
+    @steps.setter
+    def steps(self, value: int) -> None:
+        for r in self.regions:
+            r.fired = 0
+        self._steps_base = value
+        self._steps_approx = value
+
+    @property
+    def scan_total(self) -> int:
+        """Candidates examined before fired steps (advanced only when
+        metered, see :mod:`repro.runtime.metrics`)."""
+        return self._scan_base + sum(r.scanned for r in self.regions)
+
+    # Pre-region-parallel name, kept for compatibility (tests and the
+    # metrics docstrings reference it).
+    _scan_count = scan_total
+
+    @property
     def quiescent(self) -> bool:
         """True when no operation is pending and no party is blocked."""
         with self._lock:
-            return self._pending_count() == 0 and self._blocked == 0
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                return self._pending_count() == 0 and self._blocked == 0
+            finally:
+                self._release(locks)
 
     def _require_quiescent(self, action: str) -> None:
-        """Caller holds the lock."""
+        """Caller holds ``_lock`` and every region lock."""
         pending = self._pending_count()
         if pending or self._blocked:
             raise CheckpointError(
@@ -456,25 +704,40 @@ class CoordinatorEngine:
         nothing closed) — a mid-firing snapshot would not be a protocol
         state at all.
         """
-        with self._cond:
-            self._require_quiescent("checkpoint")
-            regions = tuple(
-                RegionState("eager", r.state, r.rr)
-                if isinstance(r, EagerRegion)
-                else RegionState("lazy", tuple(r.state), r.rr)
-                for r in self.regions
-            )
-            parties = tuple(
-                (p.name or f"party{i}", tuple(sorted(p.vertices)))
-                for i, p in enumerate(self._parties.values())
-            )
-            return Checkpoint(
-                connector=name,
-                regions=regions,
-                buffers=self.buffers.snapshot(),
-                steps=self.steps,
-                parties=parties,
-            )
+        with self._lock:
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                self._require_quiescent("checkpoint")
+                # regions are snapshotted in idx order (identical to list
+                # order by construction — see _adopt_regions).  ``rr``
+                # carries the per-state fairness cursor table so a restored
+                # run makes the same nondeterministic choices the original
+                # would have.
+                regions = tuple(
+                    RegionState(
+                        "eager", r.state, tuple(sorted(r.cursors.items()))
+                    )
+                    if isinstance(r, EagerRegion)
+                    else RegionState(
+                        "lazy", tuple(r.state),
+                        tuple(sorted(r.cursors.items())),
+                    )
+                    for r in self.regions
+                )
+                parties = tuple(
+                    (p.name or f"party{i}", tuple(sorted(p.vertices)))
+                    for i, p in enumerate(self._parties.values())
+                )
+                return Checkpoint(
+                    connector=name,
+                    regions=regions,
+                    buffers=self.buffers.snapshot(),
+                    steps=self.steps,
+                    parties=parties,
+                )
+            finally:
+                self._release(locks)
 
     def restore(self, cp: Checkpoint) -> None:
         """Restore a checkpoint into this engine (same or structurally
@@ -486,54 +749,64 @@ class CoordinatorEngine:
         restore (e.g. a fresh connector's constructor drain) predate the
         restored state.
         """
-        with self._cond:
-            self._require_quiescent("restore")
-            if len(cp.regions) != len(self.regions):
-                raise CheckpointError(
-                    f"checkpoint has {len(cp.regions)} regions, engine has "
-                    f"{len(self.regions)}"
-                )
-            validated = []
-            for rs, region in zip(cp.regions, self.regions):
-                if isinstance(region, EagerRegion):
-                    if rs.kind != "eager":
-                        raise CheckpointError(
-                            f"region kind mismatch: checkpoint {rs.kind!r}, "
-                            "engine 'eager' (same composition mode required)"
-                        )
-                    n = region.automaton.n_states
-                    if not isinstance(rs.state, int) or not (0 <= rs.state < n):
-                        raise CheckpointError(
-                            f"state {rs.state!r} out of range for "
-                            f"{n}-state region"
-                        )
-                    validated.append(rs.state)
-                else:
-                    if rs.kind != "lazy":
-                        raise CheckpointError(
-                            f"region kind mismatch: checkpoint {rs.kind!r}, "
-                            "engine 'lazy' (same composition mode required)"
-                        )
-                    try:
-                        validated.append(region.lazy.validate_state(rs.state))
-                    except ValueError as exc:
-                        raise CheckpointError(str(exc)) from None
+        with self._lock:
+            locks = self._all_locks
+            self._acquire(locks)
             try:
-                self.buffers.restore(cp.buffers)
-            except Exception as exc:
-                raise CheckpointError(f"buffer restore failed: {exc}") from exc
-            for region, rs, state in zip(self.regions, cp.regions, validated):
-                region.state = state
-                region.rr = rs.rr
-            self.steps = cp.steps
-            self._suspect = None
-            if self.tracer is not None:
-                self.tracer.clear()
-            # A quiescent-point snapshot has no internal transition enabled,
-            # so this drain is a no-op in the normal case — it only matters
-            # if a caller restores a hand-built checkpoint.
-            self._drain()
-            self._cond.notify_all()
+                self._require_quiescent("restore")
+                if len(cp.regions) != len(self.regions):
+                    raise CheckpointError(
+                        f"checkpoint has {len(cp.regions)} regions, engine has "
+                        f"{len(self.regions)}"
+                    )
+                validated = []
+                for rs, region in zip(cp.regions, self.regions):
+                    if isinstance(region, EagerRegion):
+                        if rs.kind != "eager":
+                            raise CheckpointError(
+                                f"region kind mismatch: checkpoint {rs.kind!r}, "
+                                "engine 'eager' (same composition mode required)"
+                            )
+                        n = region.automaton.n_states
+                        if not isinstance(rs.state, int) or not (0 <= rs.state < n):
+                            raise CheckpointError(
+                                f"state {rs.state!r} out of range for "
+                                f"{n}-state region"
+                            )
+                        validated.append(rs.state)
+                    else:
+                        if rs.kind != "lazy":
+                            raise CheckpointError(
+                                f"region kind mismatch: checkpoint {rs.kind!r}, "
+                                "engine 'lazy' (same composition mode required)"
+                            )
+                        try:
+                            validated.append(region.lazy.validate_state(rs.state))
+                        except ValueError as exc:
+                            raise CheckpointError(str(exc)) from None
+                try:
+                    self.buffers.restore(cp.buffers)
+                except Exception as exc:
+                    raise CheckpointError(f"buffer restore failed: {exc}") from exc
+                for region, rs, state in zip(self.regions, cp.regions, validated):
+                    region.state = state
+                    # int accepted for hand-built pre-cursor-table states.
+                    region.cursors = (
+                        {} if isinstance(rs.rr, int) else dict(rs.rr)
+                    )
+                self.steps = cp.steps
+                self._suspect = None
+                if self.tracer is not None:
+                    self.tracer.clear()
+                # A quiescent-point snapshot has no internal transition
+                # enabled, so this drain is a no-op in the normal case — it
+                # only matters if a caller restores a hand-built checkpoint.
+                for r in self.regions:
+                    r.dirty = True
+                self._drain_all_locked()
+                self._wake_all_locked()
+            finally:
+                self._release(locks)
 
     def reconfigure(
         self,
@@ -559,85 +832,114 @@ class CoordinatorEngine:
         cleared (the departure *is* the recovery), and the drain at the end
         fires anything the smaller protocol now enables — unblocking
         survivors that were parked mid-barrier.
+
+        Locking: the world stops under ``_lock`` plus every *old* region
+        lock; the new regions' fresh locks are additionally taken before the
+        new routing table is published, so a concurrent submitter that
+        resolves the new route parks on its region lock until the swap —
+        including the closing drain — has completed.
         """
-        with self._cond:
-            old_send, old_recv = self._pending_send, self._pending_recv
-            self.regions = list(regions)
-            self.buffers = buffers
-            self.sources = sources
-            self.sinks = sinks
-            self._pending_send = {v: deque() for v in sources}
-            self._pending_recv = {v: deque() for v in sinks}
-            for old_map, new_map in (
-                (old_send, self._pending_send),
-                (old_recv, self._pending_recv),
-            ):
-                for v, q in old_map.items():
-                    nv = vertex_map.get(v)
-                    if nv is None or nv not in new_map:
-                        self._fail_queue(
-                            q,
-                            PortClosedError(
-                                f"vertex {v!r} left the protocol signature"
-                            ),
-                        )
-                        continue
-                    for op in q:
-                        op.vertex = nv
-                    new_map[nv] = q  # reuse the deque: see docstring
-            self._closed_vertices = {
-                vertex_map[v] for v in self._closed_vertices if v in vertex_map
-            }
-            self._vertex_errors = {
-                vertex_map[v]: e
-                for v, e in self._vertex_errors.items()
-                if v in vertex_map
-            }
-            self._peer_failures.clear()
-            self._vertex_party = {}
-            for party in self._parties.values():
-                party.vertices = {
-                    vertex_map[v] for v in party.vertices if v in vertex_map
+        with self._lock:
+            old_locks = self._all_locks
+            self._acquire(old_locks)
+            new_acquired: tuple = ()
+            try:
+                self._steps_base = self.steps
+                self._scan_base = self.scan_total
+                old_send, old_recv = self._pending_send, self._pending_recv
+                for r in self.regions:
+                    r.live = False
+                self.buffers = buffers
+                self.sources = sources
+                self.sinks = sinks
+                self._pending_send = {v: deque() for v in sources}
+                self._pending_recv = {v: deque() for v in sinks}
+                for old_map, new_map in (
+                    (old_send, self._pending_send),
+                    (old_recv, self._pending_recv),
+                ):
+                    for v, q in old_map.items():
+                        nv = vertex_map.get(v)
+                        if nv is None or nv not in new_map:
+                            self._fail_queue(
+                                q,
+                                PortClosedError(
+                                    f"vertex {v!r} left the protocol signature"
+                                ),
+                            )
+                            continue
+                        for op in q:
+                            op.vertex = nv
+                        new_map[nv] = q  # reuse the deque: see docstring
+                self._closed_vertices = {
+                    vertex_map[v] for v in self._closed_vertices if v in vertex_map
                 }
-                for v in party.vertices:
-                    self._vertex_party[v] = party
-            if self.expected_parties is not None:
-                self.expected_parties = max(
-                    0, self.expected_parties - expected_delta
-                )
-            self._policies = {
-                vertex_map[v]: p
-                for v, p in self._policies.items()
-                if v in vertex_map
-            }
-            self.dead.remap(vertex_map)
-            if initial_occupancy is not None:
-                # The re-instantiated connector's token baseline (captured by
-                # the caller *before* buffer migration) replaces the old one.
-                self._initial_occupancy = initial_occupancy
-            self._party_gen += 1
-            self._suspect = None
-            self._plans.clear()
-            self._owner = {}
-            for r in self.regions:
-                for v in r.vertices:
-                    self._owner[v] = r
-            if self._metrics is not None:
-                # The boundary signature changed: rebind the per-vertex
-                # metric children and sampled gauges to the new vertex set.
-                self._metrics.attach_engine(self)
-            self._drain()
-            self._cond.notify_all()
+                self._vertex_errors = {
+                    vertex_map[v]: e
+                    for v, e in self._vertex_errors.items()
+                    if v in vertex_map
+                }
+                self._peer_failures.clear()
+                self._vertex_party = {}
+                for party in self._parties.values():
+                    party.vertices = {
+                        vertex_map[v] for v in party.vertices if v in vertex_map
+                    }
+                    for v in party.vertices:
+                        self._vertex_party[v] = party
+                if self.expected_parties is not None:
+                    self.expected_parties = max(
+                        0, self.expected_parties - expected_delta
+                    )
+                self._policies = {
+                    vertex_map[v]: p
+                    for v, p in self._policies.items()
+                    if v in vertex_map
+                }
+                self.dead.remap(vertex_map)
+                if initial_occupancy is not None:
+                    # The re-instantiated connector's token baseline (captured
+                    # by the caller *before* buffer migration) replaces the
+                    # old one.
+                    self._initial_occupancy = initial_occupancy
+                self._party_gen += 1
+                self._suspect = None
+                self._plans.clear()
+                self._adopt_regions(regions)
+                if not self._serial:
+                    # Fresh locks, unreachable until now: acquiring them under
+                    # the old locks cannot deadlock.  (Serial mode reuses the
+                    # shared lock, which is already held.)
+                    self._acquire(self._all_locks)
+                    new_acquired = self._all_locks
+                for qmap in (self._pending_send, self._pending_recv):
+                    for v, q in qmap.items():
+                        if q:
+                            owner = self._route.get(v)
+                            if owner is not None:
+                                owner.pend[v] = None
+                if self._metrics is not None:
+                    # The boundary signature changed: rebind the per-vertex
+                    # metric children and sampled gauges to the new vertex set.
+                    self._metrics.attach_engine(self)
+                for r in self.regions:
+                    r.dirty = True
+                self._drain_all_locked()
+                self._wake_all_locked()
+            finally:
+                self._release(new_acquired)
+                self._release(old_locks)
 
     # ------------------------------------------------------------ internals
 
     def _mark_active(self, vertex: str, now: float | None = None) -> None:
-        """Record protocol activity for the party owning ``vertex`` (lock
-        held): submitting an op or having one completed by a firing."""
+        """Record protocol activity for the party owning ``vertex`` (owner
+        region lock held): submitting an op or having one completed by a
+        firing."""
         party = self._vertex_party.get(vertex)
         if party is not None:
             party.last_active = now if now is not None else time.monotonic()
-            party.steps_active = self.steps
+            party.steps_active = self._steps_approx
 
     def _fail_queue(self, queue: deque | None, error: Exception | None = None) -> None:
         if not queue:
@@ -645,6 +947,9 @@ class CoordinatorEngine:
         while queue:
             op = queue.popleft()
             op.error = error or PortClosedError(f"vertex {op.vertex!r} closed")
+            ev = op.event
+            if ev is not None:
+                ev.set()
 
     def _check_open(self, vertex: str) -> None:
         if self._closed or vertex in self._closed_vertices:
@@ -652,7 +957,200 @@ class CoordinatorEngine:
                 f"vertex {vertex!r} closed"
             )
 
+    # ------------------------------------------------- submission hot path
+
     def _try_submit(self, queue: deque, op: _Op, is_send: bool = False) -> bool:
+        if self._serial:
+            return self._try_submit_serial(queue, op, is_send)
+        spill: list = []
+        try:
+            region = self._acquire_owner(op.vertex)
+            if region is None:
+                raise KeyError(op.vertex)
+            try:
+                self._check_open(op.vertex)
+                if is_send and self._draining:
+                    raise PortClosedError(
+                        f"vertex {op.vertex!r} rejected: connector draining"
+                    )
+                self._mark_active(op.vertex)
+                mx = self._metrics
+                if mx is not None:
+                    child = (mx.sub_send if is_send else mx.sub_recv).get(op.vertex)
+                    if child is not None:  # vertex unknown only mid-reconfigure
+                        child.value += 1.0
+                queue.append(op)
+                region.pend[op.vertex] = None
+                region.dirty = True
+                self._drain_region(region, spill)
+                if op.done:
+                    return True
+                if op.error is not None:
+                    raise op.error
+                queue.remove(op)
+                if not queue:
+                    region.pend.pop(op.vertex, None)
+                return False
+            finally:
+                region.lock.release()
+        finally:
+            if spill:
+                self._chase(spill)
+
+    def _submit(
+        self,
+        queue: deque,
+        op: _Op,
+        timeout: float | None,
+        policy: OverloadPolicy | None = None,
+        is_send: bool = False,
+    ) -> None:
+        if self._serial:
+            return self._submit_serial(queue, op, timeout, policy, is_send)
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        vertex = op.vertex
+        spill: list = []
+        try:
+            region = self._acquire_owner(vertex)
+            if region is None:
+                raise KeyError(vertex)
+            try:
+                self._check_open(vertex)
+                if is_send and self._draining:
+                    raise PortClosedError(
+                        f"vertex {vertex!r} rejected: connector draining"
+                    )
+                op.t_enq = time.monotonic()
+                op.steps_enq = self._steps_approx
+                self._mark_active(vertex, op.t_enq)
+                mx = self._metrics
+                if mx is not None:
+                    child = (mx.sub_send if is_send else mx.sub_recv).get(vertex)
+                    if child is not None:  # vertex unknown only mid-reconfigure
+                        child.value += 1.0
+                queue.append(op)
+                region.pend[vertex] = None
+                region.dirty = True
+                self._drain_region(region, spill)
+                if not op.done and op.error is None:
+                    pol = (policy if policy is not None
+                           else self._policies.get(vertex))
+                    if (
+                        pol is not None
+                        and pol.kind != "block"
+                        and len(queue) > pol.max_pending
+                    ):
+                        self._overflow(queue, op, pol, region)
+                    if not op.done and op.error is None:
+                        # Park: install the op's private wakeup slot while
+                        # still under the region lock, so any later firing
+                        # or failure is guaranteed to see it.
+                        op.event = threading.Event()
+            finally:
+                region.lock.release()
+        finally:
+            if spill:
+                self._chase(spill)
+        if op.done:
+            return
+        if op.error is not None:
+            raise op.error
+        self._wait_blocked(queue, op, timeout, deadline)
+
+    def _wait_blocked(self, queue: deque, op: _Op, timeout, deadline) -> None:
+        """Blocked-submitter loop (no locks held): tick between the op's
+        event, the deadline, and the deadlock detector."""
+        ev = op.event
+        with self._lock:
+            self._blocked += 1
+        try:
+            while True:
+                self._maybe_deadlock()
+                if op.done:
+                    return
+                if op.error is not None:
+                    raise op.error
+                tick = _WAIT_TICK
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        if self._withdraw_expired(queue, op):
+                            raise ProtocolTimeoutError(op.vertex, timeout)
+                        continue  # resolved concurrently with the expiry
+                    tick = min(tick, remaining)
+                ev.wait(tick)
+                ev.clear()
+        finally:
+            with self._lock:
+                self._blocked -= 1
+
+    def _withdraw_expired(self, queue: deque, op: _Op) -> bool:
+        """Cancel a timed-out op under its owner region's lock; ``False``
+        when a firing or failure resolved it first (the caller's loop then
+        observes the resolution)."""
+        region = self._acquire_owner(op.vertex)
+        if region is None:
+            # The vertex left the signature; reconfigure failed the op.
+            return op.error is None and not op.done
+        try:
+            if op.done or op.error is not None:
+                return False
+            try:
+                queue.remove(op)
+            except ValueError:
+                pass
+            if not queue:
+                region.pend.pop(op.vertex, None)
+            return True
+        finally:
+            region.lock.release()
+
+    def _overflow(self, queue: deque, op: _Op, pol: OverloadPolicy,
+                  region=None) -> None:
+        """Apply a non-``block`` policy to an over-bound queue (owner lock
+        held).
+
+        ``fail_fast`` withdraws ``op`` and raises; the shed kinds capture a
+        value into the dead-letter buffer and complete its operation as if
+        sent — the protocol never sees a shed value, but the submitter is
+        released rather than parked (degrade predictably, don't fall over).
+        """
+        if pol.kind == "fail_fast":
+            queue.remove(op)
+            if region is not None and not queue:
+                region.pend.pop(op.vertex, None)
+            if self._metrics is not None:
+                with self._stat_lock:
+                    self._metrics.rejected(op.vertex)
+            raise OverloadError(op.vertex, pol.max_pending)
+        if pol.kind == "shed_newest":
+            victim = op
+            queue.remove(op)
+        else:  # shed_oldest: drop-head; the incoming op takes the freed slot
+            victim = queue.popleft()
+        if region is not None and not queue:
+            region.pend.pop(op.vertex, None)
+        self.dead.capture(
+            victim.vertex, victim.value, pol.kind, self.steps,
+            pol.dead_letter_capacity,
+        )
+        if self._metrics is not None:
+            with self._stat_lock:
+                self._metrics.shed(victim.vertex, pol.kind)
+        victim.done = True
+        if victim is not op:
+            if self._serial:
+                self._cond.notify_all()
+            else:
+                ev = victim.event
+                if ev is not None:
+                    ev.set()
+
+    # --------------------------------------------- serial (global) baseline
+
+    def _try_submit_serial(self, queue: deque, op: _Op, is_send: bool) -> bool:
         with self._cond:
             self._check_open(op.vertex)
             if is_send and self._draining:
@@ -663,10 +1161,10 @@ class CoordinatorEngine:
             mx = self._metrics
             if mx is not None:
                 child = (mx.sub_send if is_send else mx.sub_recv).get(op.vertex)
-                if child is not None:  # vertex unknown only mid-reconfigure
+                if child is not None:
                     child.value += 1.0
             queue.append(op)
-            self._drain()
+            self._drain_serial()
             if op.done:
                 return True
             if op.error is not None:
@@ -674,13 +1172,13 @@ class CoordinatorEngine:
             queue.remove(op)
             return False
 
-    def _submit(
+    def _submit_serial(
         self,
         queue: deque,
         op: _Op,
         timeout: float | None,
-        policy: OverloadPolicy | None = None,
-        is_send: bool = False,
+        policy: OverloadPolicy | None,
+        is_send: bool,
     ) -> None:
         if timeout is None:
             timeout = self.default_timeout
@@ -692,15 +1190,15 @@ class CoordinatorEngine:
                     f"vertex {op.vertex!r} rejected: connector draining"
                 )
             op.t_enq = time.monotonic()
-            op.steps_enq = self.steps
+            op.steps_enq = self._steps_approx
             self._mark_active(op.vertex, op.t_enq)
             mx = self._metrics
             if mx is not None:
                 child = (mx.sub_send if is_send else mx.sub_recv).get(op.vertex)
-                if child is not None:  # vertex unknown only mid-reconfigure
+                if child is not None:
                     child.value += 1.0
             queue.append(op)
-            self._drain()
+            self._drain_serial()
             if op.done:
                 return
             pol = policy if policy is not None else self._policies.get(op.vertex)
@@ -712,10 +1210,11 @@ class CoordinatorEngine:
                 self._overflow(queue, op, pol)
                 if op.done:
                     return
-            self._blocked += 1
+            with self._lock:
+                self._blocked += 1
             try:
                 while not op.done and op.error is None:
-                    self._maybe_deadlock()
+                    self._maybe_deadlock_serial()
                     if op.done or op.error is not None:
                         break
                     tick = _WAIT_TICK
@@ -734,37 +1233,10 @@ class CoordinatorEngine:
                         tick = min(tick, remaining)
                     self._cond.wait(tick)
             finally:
-                self._blocked -= 1
+                with self._lock:
+                    self._blocked -= 1
             if op.error is not None:
                 raise op.error
-
-    def _overflow(self, queue: deque, op: _Op, pol: OverloadPolicy) -> None:
-        """Apply a non-``block`` policy to an over-bound queue (lock held).
-
-        ``fail_fast`` withdraws ``op`` and raises; the shed kinds capture a
-        value into the dead-letter buffer and complete its operation as if
-        sent — the protocol never sees a shed value, but the submitter is
-        released rather than parked (degrade predictably, don't fall over).
-        """
-        if pol.kind == "fail_fast":
-            queue.remove(op)
-            if self._metrics is not None:
-                self._metrics.rejected(op.vertex)
-            raise OverloadError(op.vertex, pol.max_pending)
-        if pol.kind == "shed_newest":
-            victim = op
-            queue.remove(op)
-        else:  # shed_oldest: drop-head; the incoming op takes the freed slot
-            victim = queue.popleft()
-        self.dead.capture(
-            victim.vertex, victim.value, pol.kind, self.steps,
-            pol.dead_letter_capacity,
-        )
-        if self._metrics is not None:
-            self._metrics.shed(victim.vertex, pol.kind)
-        victim.done = True
-        if victim is not op:
-            self._cond.notify_all()
 
     # ------------------------------------------------------ overload layer
 
@@ -783,9 +1255,14 @@ class CoordinatorEngine:
         ``send``/``try_send`` calls raise :class:`PortClosedError` so
         producers see a clean close instead of a hang.
         """
-        with self._cond:
-            self._draining = True
-            self._cond.notify_all()
+        with self._lock:
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                self._draining = True
+                self._wake_all_locked()
+            finally:
+                self._release(locks)
 
     @property
     def draining(self) -> bool:
@@ -796,13 +1273,17 @@ class CoordinatorEngine:
         """True when no send is pending and the buffered-value count is
         back down to the connector's initial occupancy (initialized tokens
         of ring connectors are protocol state, not user data)."""
-        with self._lock:
+        locks = self._all_locks
+        self._acquire(locks)
+        try:
             if any(self._pending_send.values()):
                 return False
             occupancy = sum(
                 self.buffers.occupancy(n) for n in self.buffers.names()
             )
             return occupancy <= self._initial_occupancy
+        finally:
+            self._release(locks)
 
     def party_progress(self) -> tuple[list[dict], int]:
         """Watchdog probe: one row per registered party.
@@ -820,31 +1301,105 @@ class CoordinatorEngine:
         Returns ``(rows, engine_steps)``.
         """
         with self._lock:
-            now = time.monotonic()
-            rows = []
-            for i, party in enumerate(self._parties.values()):
-                pending = 0
-                oldest_t: float | None = None
-                for v in party.vertices:
-                    for q in (self._pending_send.get(v),
-                              self._pending_recv.get(v)):
-                        if not q:
-                            continue
-                        for o in q:
-                            pending += 1
-                            if oldest_t is None or o.t_enq < oldest_t:
-                                oldest_t = o.t_enq
-                rows.append({
-                    "name": party.name or f"party{i}",
-                    "vertices": tuple(sorted(party.vertices)),
-                    "pending": pending,
-                    "waited": (now - oldest_t) if oldest_t is not None else 0.0,
-                    "idle": now - party.last_active,
-                    "steps_since_active": self.steps - party.steps_active,
-                })
-            return rows, self.steps
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                now = time.monotonic()
+                steps = self.steps
+                rows = []
+                for i, party in enumerate(self._parties.values()):
+                    pending = 0
+                    oldest_t: float | None = None
+                    for v in party.vertices:
+                        for q in (self._pending_send.get(v),
+                                  self._pending_recv.get(v)):
+                            if not q:
+                                continue
+                            for o in q:
+                                pending += 1
+                                if oldest_t is None or o.t_enq < oldest_t:
+                                    oldest_t = o.t_enq
+                    rows.append({
+                        "name": party.name or f"party{i}",
+                        "vertices": tuple(sorted(party.vertices)),
+                        "pending": pending,
+                        "waited": (now - oldest_t) if oldest_t is not None else 0.0,
+                        "idle": now - party.last_active,
+                        "steps_since_active": steps - party.steps_active,
+                    })
+                return rows, steps
+            finally:
+                self._release(locks)
+
+    # -------------------------------------------------- deadlock detection
 
     def _maybe_deadlock(self) -> None:
+        """Region-mode detection — caller holds *no* locks.  Takes the
+        registry lock, then every region lock, for a globally consistent
+        snapshot of queues, blocked waiters, and region states."""
+        with self._lock:
+            if self._parties:
+                threshold = len(self._parties)
+                grace = self.detection_grace
+            elif self.expected_parties is not None:
+                threshold = self.expected_parties
+            else:
+                return
+            if not self._parties:
+                grace = 0.0
+            locks = self._all_locks
+            self._acquire(locks)
+            try:
+                # Self-heal: finish any signalled-but-unchased cross-region
+                # work first (a chaser that died mid-exception leaves dirty
+                # flags behind; draining them here keeps detection sound).
+                for r in self.regions:
+                    if r.dirty:
+                        self._drain_all_locked()
+                        break
+                # ``stuck`` counts committed (queued, not-yet-completed)
+                # operations; completed operations are popped at firing time,
+                # and withdrawn (timed-out / non-blocking) operations are
+                # removed under their region lock, so each remaining entry
+                # belongs to exactly one blocked waiter.  Requiring the
+                # blocked-waiter count to agree means a non-blocking probe
+                # or an about-to-block submitter can never inflate the count
+                # into a spurious detection.
+                stuck = self._pending_count()
+                if stuck < threshold or self._blocked < threshold:
+                    self._suspect = None
+                    return
+                if grace > 0.0:
+                    # Confirmation window: a party that has not *registered*
+                    # yet (e.g. a task the group is still spawning) must get
+                    # a chance to appear before we conclude the registered
+                    # set is complete.  Any firing or (un)registration resets
+                    # the sighting.
+                    mark = (self.steps, self._party_gen, stuck)
+                    now = time.monotonic()
+                    if self._suspect is None or self._suspect[0] != mark:
+                        self._suspect = (mark, now)
+                        return
+                    if now - self._suspect[1] < grace:
+                        return
+                err = self._stuck_error(threshold)
+                for qmap in (self._pending_send, self._pending_recv):
+                    for q in qmap.values():
+                        for op in q:
+                            op.error = err
+                            ev = op.event
+                            if ev is not None:
+                                ev.set()
+                        q.clear()
+                for r in self.regions:
+                    r.pend.clear()
+                self._suspect = None
+            finally:
+                self._release(locks)
+
+    def _maybe_deadlock_serial(self) -> None:
+        """Serial-mode detection — caller holds the shared firing lock
+        (exactly the pre-region-parallel behaviour)."""
         if self._parties:
             threshold = len(self._parties)
             grace = self.detection_grace
@@ -853,24 +1408,11 @@ class CoordinatorEngine:
             grace = 0.0
         else:
             return
-        # ``stuck`` counts committed (queued, not-yet-completed) operations;
-        # completed operations are popped at firing time, and withdrawn
-        # (timed-out / non-blocking) operations are removed under the lock,
-        # so each remaining entry belongs to exactly one blocked waiter.
-        # Requiring the blocked-waiter count to agree means a non-blocking
-        # probe or an about-to-block submitter can never inflate the count
-        # into a spurious detection.
-        stuck = sum(len(q) for q in self._pending_send.values()) + sum(
-            len(q) for q in self._pending_recv.values()
-        )
+        stuck = self._pending_count()
         if stuck < threshold or self._blocked < threshold:
             self._suspect = None
             return
         if grace > 0.0:
-            # Confirmation window: a party that has not *registered* yet
-            # (e.g. a task the group is still spawning) must get a chance to
-            # appear before we conclude the registered set is complete.  Any
-            # firing or (un)registration resets the sighting.
             mark = (self.steps, self._party_gen, stuck)
             now = time.monotonic()
             if self._suspect is None or self._suspect[0] != mark:
@@ -916,6 +1458,8 @@ class CoordinatorEngine:
             diagnostic=diagnostic,
         )
 
+    # ------------------------------------------------------- firing engine
+
     def _pending_vertices(self):
         out = []
         for v, q in self._pending_send.items():
@@ -926,23 +1470,95 @@ class CoordinatorEngine:
                 out.append(v)
         return out
 
-    def _drain(self) -> None:
-        """Fire enabled transitions until quiescence (caller holds lock)."""
+    def _drain_serial(self) -> None:
+        """Fire enabled transitions until quiescence (shared lock held) —
+        the pre-region-parallel global rescan, kept as the benchmark
+        baseline."""
         fired = True
         while fired:
             fired = False
             for region in self.regions:
-                while self._fire_one(region):
+                while self._fire_one(region, None, None):
                     fired = True
 
-    def _fire_one(self, region) -> bool:
-        steps = region.candidates(self._pending_vertices())
+    def _drain_region(self, region, spill: list) -> None:
+        """Fire ``region`` until quiescent (its lock held).  Regions whose
+        shared buffers changed are marked dirty and appended to ``spill``
+        for the caller to chase after releasing this lock."""
+        region.dirty = False
+        pend = region.pend
+        while self._fire_one(region, pend, spill):
+            pass
+
+    def _chase(self, spill: list) -> None:
+        """Drain the regions a firing signalled, one lock at a time (no
+        other locks held).  Newly signalled regions are appended to
+        ``spill`` while iterating; already-clean entries are skipped, so the
+        loop terminates when the signal cascade dies out."""
+        i = 0
+        while i < len(spill):
+            region = spill[i]
+            i += 1
+            if not region.dirty or not region.live:
+                continue
+            region.lock.acquire()
+            try:
+                if region.dirty and region.live:
+                    self._drain_region(region, spill)
+            finally:
+                region.lock.release()
+
+    def _drain_all_locked(self) -> None:
+        """Drain every dirty region to quiescence (all region locks held —
+        construction, restore, reconfigure, and detection self-heal)."""
+        if self._serial:
+            self._drain_serial()
+            return
+        again = True
+        while again:
+            again = False
+            for region in self.regions:
+                if region.dirty:
+                    again = True
+                    region.dirty = False
+                    while self._fire_one(region, region.pend, None):
+                        pass
+
+    def _fire_one(self, region, pending, spill) -> bool:
+        """Try to fire one transition of ``region`` (its lock held).
+
+        ``pending`` is the region's incrementally maintained pending-vertex
+        set, or ``None`` in serial mode (which rebuilds the global list per
+        attempt, as the baseline always did).  ``spill`` collects regions
+        signalled through shared buffers; ``None`` means the caller holds
+        every region lock and will consult dirty flags directly.
+        """
+        if pending is None:
+            pending = self._pending_vertices()
+        steps = region.candidates(pending)
         n = len(steps)
         if n == 0:
             return False
         mx = self._metrics
-        observing = mx is not None or self.tracer is not None
-        start = region.rr % n
+        tracing = self.tracer is not None
+        observing = mx is not None or tracing
+        serial = self._serial
+        # Cross-region trace causality: holding the trace lock from probe to
+        # record means a consumer region can only observe (and record) a
+        # value strictly after its producer's record — the tracer's sequence
+        # numbers then respect buffer causality even across OS threads.
+        trace_lock = self._trace_lock if (tracing and not serial) else None
+        # Fairness: round-robin over the candidate list, with one cursor
+        # *per control state*.  A cursor is an index into this state's
+        # candidate list; the old engine shared one cursor per region, so a
+        # cycle of states whose lists differ in length/order could revisit
+        # the choice state at the same index forever and starve a competing
+        # candidate (regression: test_engine.py rr-rotation tests).  After
+        # a firing the cursor moves just past the fired candidate, so every
+        # persistently enabled candidate at a recurring state is scanned
+        # first within n visits.
+        state0 = region.state
+        start = region.cursors.get(state0, 0) % n
         for k in range(n):
             step = steps[(start + k) % n]
             label = step.label
@@ -968,83 +1584,112 @@ class CoordinatorEngine:
             if not enabled:
                 continue
             plan = self._plan_for(step)
-            slots = plan.evaluate(offers or {}, self.buffers)
-            if slots is None:
-                continue
-            # Fire!
-            deliveries = plan.commit(self.buffers, slots)
-            completed_sends: list[str] = []
-            completed_recvs: list[str] = []
-            tracing = self.tracer is not None
-            enq = [] if tracing else None
-            # The latency histogram samples every LATENCY_STRIDE-th fired
-            # step: a full observe per step is the single largest metric
-            # cost, and the distribution doesn't need every step.
-            want_lat = mx is not None and self.steps & _LAT_MASK == 0
-            nops = 0
-            min_te = 0.0  # oldest t_enq among completed stamped ops
-            for v in label:
-                sq = self._pending_send.get(v)
-                if sq is not None:
-                    op = sq.popleft()
-                    op.done = True
-                    completed_sends.append(v)
-                else:
-                    rq = self._pending_recv.get(v)
-                    if rq is None:
-                        continue
-                    op = rq.popleft()
-                    op.value = deliveries.get(v)
-                    op.done = True
-                    completed_recvs.append(v)
-                if mx is not None:
-                    # Inline (no call frames): at ~10 µs/step the metric
-                    # budget is a few hundred ns (bench_observe.py).
-                    child = mx.done.get(v)
-                    if child is not None:
-                        child.value += 1.0
-                    if want_lat:
-                        nops += 1
-                        te = op.t_enq
-                        if te and (not min_te or te < min_te):
-                            min_te = te
-                if enq is not None:
-                    enq.append((v, op.t_enq))
-            region.advance(step)
-            region.rr = (start + k + 1) % n
-            self.steps += 1
-            if observing or self._vertex_party:
-                # One clock read per fired step, shared by liveness
-                # stamping, the latency histogram, and the tracer.
-                t = time.monotonic()
-                if self._vertex_party:
-                    for v in completed_sends:
-                        self._mark_active(v, t)
-                    for v in completed_recvs:
-                        self._mark_active(v, t)
-                if mx is not None:
-                    # Plain int: pull-sampled (with engine.steps) at
-                    # collect time, so step totals cost the hot path
-                    # nothing beyond this add.
-                    self._scan_count += k + 1
-                    if nops:
-                        # Age of the oldest completed op; 0.0 when every
-                        # completed op was non-blocking (t_enq unstamped).
-                        mx.latency_child.observe(
-                            t - min_te if min_te else 0.0)
-                if tracing:
-                    self.tracer.record(
-                        self.regions.index(region),
-                        label,
-                        completed_sends,
-                        completed_recvs,
-                        tuple(deliveries.items()),
-                        t=t,
-                        waits=tuple(
-                            (v, t - te if te else 0.0) for v, te in enq
-                        ),
-                    )
-            self._cond.notify_all()
+            if trace_lock is not None:
+                trace_lock.acquire()
+            try:
+                slots = plan.evaluate(offers or {}, self.buffers)
+                if slots is None:
+                    continue
+                # Fire!
+                deliveries = plan.commit(self.buffers, slots)
+                completed_sends: list[str] = []
+                completed_recvs: list[str] = []
+                enq = [] if tracing else None
+                # The latency histogram samples every LATENCY_STRIDE-th
+                # fired step: a full observe per step is the single largest
+                # metric cost, and the distribution doesn't need every step.
+                want_lat = mx is not None and region.fired & _LAT_MASK == 0
+                nops = 0
+                min_te = 0.0  # oldest t_enq among completed stamped ops
+                for v in label:
+                    sq = self._pending_send.get(v)
+                    if sq is not None:
+                        op = sq.popleft()
+                        op.done = True
+                        ev = op.event
+                        if ev is not None:
+                            ev.set()
+                        completed_sends.append(v)
+                        if not serial and not sq:
+                            pending.pop(v, None)
+                    else:
+                        rq = self._pending_recv.get(v)
+                        if rq is None:
+                            continue
+                        op = rq.popleft()
+                        op.value = deliveries.get(v)
+                        op.done = True
+                        ev = op.event
+                        if ev is not None:
+                            ev.set()
+                        completed_recvs.append(v)
+                        if not serial and not rq:
+                            pending.pop(v, None)
+                    if mx is not None:
+                        # Inline (no call frames): at ~10 µs/step the metric
+                        # budget is a few hundred ns (bench_observe.py).
+                        child = mx.done.get(v)
+                        if child is not None:
+                            child.value += 1.0
+                        if want_lat:
+                            nops += 1
+                            te = op.t_enq
+                            if te and (not min_te or te < min_te):
+                                min_te = te
+                    if enq is not None:
+                        enq.append((v, op.t_enq))
+                region.advance(step)
+                region.cursors[state0] = (start + k + 1) % n
+                region.fired += 1
+                self._steps_approx += 1
+                # Signal regions watching a buffer this firing mutated
+                # (pushes/pops only — guard probes don't change contents).
+                if self._watchers:
+                    for b in plan.touched:
+                        ws = self._watchers.get(b)
+                        if ws:
+                            for w in ws:
+                                if w is not region and not w.dirty:
+                                    w.dirty = True
+                                    if spill is not None:
+                                        spill.append(w)
+                if observing or self._vertex_party:
+                    # One clock read per fired step, shared by liveness
+                    # stamping, the latency histogram, and the tracer.
+                    t = time.monotonic()
+                    if self._vertex_party:
+                        for v in completed_sends:
+                            self._mark_active(v, t)
+                        for v in completed_recvs:
+                            self._mark_active(v, t)
+                    if mx is not None:
+                        # Plain int: pull-sampled (with engine.steps) at
+                        # collect time, so step totals cost the hot path
+                        # nothing beyond this add.
+                        region.scanned += k + 1
+                        if nops:
+                            # Age of the oldest completed op; 0.0 when every
+                            # completed op was non-blocking (t_enq unstamped).
+                            with self._stat_lock:
+                                mx.latency_child.observe(
+                                    t - min_te if min_te else 0.0)
+                    if tracing:
+                        self.tracer.record(
+                            region.idx,
+                            label,
+                            completed_sends,
+                            completed_recvs,
+                            tuple(deliveries.items()),
+                            t=t,
+                            waits=tuple(
+                                (v, t - te if te else 0.0) for v, te in enq
+                            ),
+                        )
+            finally:
+                if trace_lock is not None:
+                    trace_lock.release()
+            if serial:
+                self._cond.notify_all()
             return True
         return False
 
@@ -1075,6 +1720,31 @@ class CoordinatorEngine:
                     count += 1
         return count
 
+    # ------------------------------------------------------------- sampling
+
+    def pending_depths(self) -> list[tuple[str, str, int]]:
+        """Queue-depth rows ``(vertex, "send"|"recv", depth)`` for the
+        metrics gauges, read under the region locks."""
+        locks = self._all_locks
+        self._acquire(locks)
+        try:
+            rows = [(v, "send", len(q)) for v, q in self._pending_send.items()]
+            rows += [(v, "recv", len(q)) for v, q in self._pending_recv.items()]
+            return rows
+        finally:
+            self._release(locks)
+
+    def buffered_total(self) -> int:
+        """Total buffered-value count across the store (metrics gauge)."""
+        locks = self._all_locks
+        self._acquire(locks)
+        try:
+            return sum(
+                self.buffers.occupancy(n) for n in self.buffers.names()
+            )
+        finally:
+            self._release(locks)
+
     # ------------------------------------------------------------- stats
 
     def stats(self) -> dict:
@@ -1086,6 +1756,7 @@ class CoordinatorEngine:
             "blocked": self._blocked,
             "shed": self.dead.count(),
             "draining": self._draining,
+            "concurrency": self.concurrency,
         }
         expansions = 0
         cache_len = 0

@@ -378,10 +378,13 @@ class ConnectorMetrics:
     engine indexes :attr:`sub_send` / :attr:`sub_recv` / :attr:`done` and
     bumps the found :class:`Counter`'s ``value`` inline, because at
     ~10 µs per global step even one Python call frame per hook is a
-    measurable tax (``benchmarks/bench_observe.py`` pins the budget).  All
-    such mutation happens under the engine lock; the sampled-gauge
-    callbacks acquire it themselves at collect time.  The cold-path events
-    (:meth:`shed`, :meth:`rejected`) stay methods.
+    measurable tax (``benchmarks/bench_observe.py`` pins the budget).  The
+    per-vertex children are mutated only under the owning region's lock
+    (every vertex belongs to exactly one region); children shared across
+    regions (the latency histogram, the shed/rejected memos) are serialized
+    by the engine's stat lock.  The sampled-gauge callbacks take the region
+    locks themselves at collect time.  The cold-path events (:meth:`shed`,
+    :meth:`rejected`) stay methods.
     """
 
     def __init__(self, registry: MetricsRegistry, connector: str):
@@ -390,7 +393,7 @@ class ConnectorMetrics:
         c = self.connector
         #: Engine-facing fast-path children (see class docstring).  The
         #: step and scan totals are *pull-sampled* from counts the engine
-        #: keeps anyway (``engine.steps`` / ``engine._scan_count``), so a
+        #: keeps anyway (``engine.steps`` / ``engine.scan_total``), so a
         #: fired step pays nothing for them; see :meth:`attach_engine`.
         self.latency_child = registry.histogram(
             "repro_engine_step_latency_seconds").labels(c)
@@ -423,19 +426,15 @@ class ConnectorMetrics:
             self.done[v] = self._fam_completed.labels(c, v, "recv")
 
         def pending_samples():
-            with engine._lock:
-                rows = [((c, v, "send"), float(len(q)))
-                        for v, q in engine._pending_send.items()]
-                rows += [((c, v, "recv"), float(len(q)))
-                         for v, q in engine._pending_recv.items()]
-            return rows
+            # pending_depths() serializes against the firing hot path by
+            # taking the engine's region locks (never the registry lock from
+            # here — callbacks run outside every metrics-internal lock, see
+            # MetricFamily.samples, so the lock order stays engine→leaf).
+            return [((c, v, kind), float(depth))
+                    for v, kind, depth in engine.pending_depths()]
 
         def occupancy_samples():
-            with engine._lock:
-                total = sum(
-                    engine.buffers.occupancy(n) for n in engine.buffers.names()
-                )
-            return [((c,), float(total))]
+            return [((c,), float(engine.buffered_total()))]
 
         def dead_letter_samples():
             return [((c, v), float(n))
@@ -445,7 +444,7 @@ class ConnectorMetrics:
             return [((c,), float(engine.steps))]
 
         def scan_samples():
-            return [((c,), float(engine._scan_count))]
+            return [((c,), float(engine.scan_total))]
 
         self.registry.counter("repro_engine_steps_total").set_callback(
             self, step_samples)

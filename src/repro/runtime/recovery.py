@@ -59,13 +59,14 @@ class RegionState:
 
     ``kind`` is ``"eager"`` (``state`` is an int of the composed automaton)
     or ``"lazy"`` (``state`` is the tuple of component states); ``rr`` is
-    the region's round-robin fairness cursor, captured so a restored run
-    makes the same nondeterministic choices as the original would have.
+    the region's round-robin fairness cursor table — ``(state, index)``
+    pairs, one per visited control state — captured so a restored run makes
+    the same nondeterministic choices as the original would have.
     """
 
     kind: str
     state: object
-    rr: int
+    rr: tuple
 
 
 @dataclass(frozen=True)

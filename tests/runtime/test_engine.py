@@ -146,3 +146,82 @@ def test_plan_cache_reused():
         ins[0].recv()
     assert conn.stats()["plans"] == 2  # push plan + pop plan, compiled once
     conn.close()
+
+
+def _prefill_sends(engine, backlog):
+    """White-box: queue send backlogs directly (the public API parks one OS
+    thread per pending op, which would make the schedule nondeterministic).
+    The engine is idle here, so touching its queues is safe."""
+    from repro.runtime.engine import _Op
+
+    for vertex, values in backlog.items():
+        queue = engine._pending_send[vertex]
+        region = engine._route[vertex]
+        for value in values:
+            queue.append(_Op(vertex, value))
+        region.pend[vertex] = None
+        region.dirty = True
+
+
+def _prefill_recvs(engine, vertex, count):
+    from repro.runtime.engine import _Op
+
+    ops = [_Op(vertex) for _ in range(count)]
+    queue = engine._pending_recv[vertex]
+    region = engine._route[vertex]
+    for op in ops:
+        queue.append(op)
+    region.pend[vertex] = None
+    region.dirty = True
+    return ops
+
+
+# The rr-drift regressions below pin the fix for a fairness bug in the
+# candidate scan: the cursor was a single per-region index recomputed as
+# ``start + k + 1`` even when candidates between ``start`` and the fired
+# one were merely *skipped as momentarily disabled*.  Because the cursor
+# was shared across control states whose candidate lists differ in length
+# and order, a cycle of states could revisit the exclusive-choice state at
+# the same index forever and starve one competing party outright (observed:
+# 24/0 splits on EarlyAsyncRouter and LateAsyncMerger, 23/1 on aot
+# EarlyAsyncMerger).  The engine now keeps one cursor per control state,
+# advanced past the fired candidate, which scans every persistently enabled
+# candidate first within n visits of its state.
+
+
+@pytest.mark.parametrize("composition", ["jit", "aot"])
+def test_rr_no_starvation_competing_receivers_exclusive_router(composition):
+    """Two competing receivers on an exclusive router: with the producer
+    never the bottleneck, both receivers must be served."""
+    conn = library.connector("EarlyAsyncRouter", 2, composition=composition)
+    outs, ins = mkports(1, 2)
+    conn.connect(outs, ins)
+    h0, h1 = conn.head_vertices
+    ops0 = _prefill_recvs(conn.engine, h0, 60)
+    ops1 = _prefill_recvs(conn.engine, h1, 60)
+    for i in range(24):
+        outs[0].send(i)
+    served0 = sum(1 for o in ops0 if o.done)
+    served1 = sum(1 for o in ops1 if o.done)
+    conn.close()
+    assert served0 + served1 == 24
+    assert served0 >= 6 and served1 >= 6, (served0, served1)
+
+
+@pytest.mark.parametrize(
+    "name,composition",
+    [("EarlyAsyncMerger", "aot"), ("EarlyAsyncMerger", "jit"),
+     ("LateAsyncMerger", "aot"), ("LateAsyncMerger", "jit")],
+)
+def test_rr_no_starvation_competing_senders(name, composition):
+    """Two competing senders racing for an exclusive merge: with backlogs
+    on both producers, deliveries must interleave, not exhaust one side."""
+    conn = library.connector(name, 2, composition=composition)
+    outs, ins = mkports(2, 1)
+    conn.connect(outs, ins)
+    v0, v1 = conn.tail_vertices
+    _prefill_sends(conn.engine, {v0: ["a"] * 60, v1: ["b"] * 60})
+    got = [ins[0].recv() for _ in range(24)]
+    conn.close()
+    assert "a" in got[:8] and "b" in got[:8], f"one sender starved: {got}"
+    assert got.count("a") >= 6 and got.count("b") >= 6, got
