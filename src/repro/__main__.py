@@ -23,6 +23,11 @@ Subcommands::
         run an observed scenario and export its metrics/trace
         (docs/OBSERVABILITY.md has the full recipe)
 
+    python -m repro fuzz {run|replay|shrink} ...
+        differential fuzzing: random programs executed under every mode
+        pair, trace-equivalence oracle, shrink-to-minimal replay files
+        (docs/INTERNALS.md §10)
+
     python -m repro fig12 / fig13 ...
         the benchmark runners (same flags as python -m repro.bench.fig12/13)
 
@@ -268,6 +273,10 @@ def main(argv=None) -> int:
                    help="smaller windows / N sweep / classes")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_reproduce)
+
+    from repro.fuzz.cli import add_subparsers as _add_fuzz
+
+    _add_fuzz(sub)
 
     args = ap.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,217 @@
+"""Seeded random program generator — well-formed connector DSL programs.
+
+A fuzz *program* is a small pipeline of library connectors: one or two
+parallel **chains**, each a series of one to three library **stages**
+(:func:`repro.connectors.library.build_graph`) glued head-to-tail with
+``fifo1`` arcs.  Every stage's vertices are renamed behind a unique
+``c{chain}s{stage}_`` prefix, the combined graph is spelled back to DSL
+text via :func:`repro.lang.graph2text.graph_to_text` and recompiled with
+:func:`repro.compiler.parametrized.compile_source` — so the generator
+exercises the *same* text → AST → automata pipeline user programs take,
+not a shortcut around it.
+
+The grammar, informally::
+
+    program  ::=  chain ("|" chain)?          # parallel composition
+    chain    ::=  stage ("-fifo1->" stage)*   # series composition
+    stage    ::=  LibraryConnector(arity)     # arity bounded by max_arity
+
+Chains are encoded as data (``FuzzProgram.chains``) precisely so the
+shrinker can delete a chain or a trailing stage and deterministically
+rebuild a *smaller but still well-formed* program — delta debugging over
+the grammar, not over text lines.
+
+Programs whose every stage is a ``FifoChain`` (single chain) are
+additionally *channelable*: behaviourally a bounded FIFO, comparable
+against :mod:`repro.runtime.channels` with ``capacity ==
+FuzzProgram.channel_capacity`` (see docs/INTERNALS.md §10 for the
+packing argument).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+
+from repro.connectors import library
+from repro.connectors.graph import Arc, ConnectorGraph
+
+#: Stage arities the generator draws from (per connector, probed once).
+MAX_ARITY = 3
+
+#: Boundary-port budget: generation stops adding stages once the program
+#: would expose more ports than this (keeps scripts short and walks fast).
+PORT_BUDGET = 8
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """One generated (or library-derived) protocol program.
+
+    ``dsl`` is always self-contained — a replay file needs nothing but this
+    text.  ``chains`` is the generator metadata (a tuple of chains, each a
+    tuple of ``(connector_name, arity)`` stages) when the program came from
+    :func:`build_program`; empty for programs wrapped from raw DSL.
+    ``sizes`` feeds ``CompiledProtocol.default_bindings`` for parametrized
+    sources (library matrix runs); generated sources are concrete.
+    """
+
+    name: str
+    dsl: str
+    protocol: str | None = None
+    sizes: object = None
+    tails: tuple[str, ...] = ()
+    heads: tuple[str, ...] = ()
+    channel_capacity: int | None = None
+    chains: tuple = ()
+
+    @property
+    def channelable(self) -> bool:
+        return self.channel_capacity is not None
+
+
+def _arity_table() -> dict[str, tuple[int, ...]]:
+    """Valid arities per library connector (probed, cached)."""
+    global _ARITIES
+    if _ARITIES is None:
+        table = {}
+        for name in library.names():
+            ok = []
+            for n in range(1, MAX_ARITY + 1):
+                try:
+                    library.build_graph(name, n)
+                except Exception:
+                    continue
+                ok.append(n)
+            if ok:
+                table[name] = tuple(ok)
+        _ARITIES = table
+    return _ARITIES
+
+
+_ARITIES: dict[str, tuple[int, ...]] | None = None
+
+
+def _renamed(built, prefix: str):
+    """``built``'s graph with every vertex behind ``prefix`` (made a valid
+    DSL identifier), plus its renamed boundary lists."""
+
+    def r(v: str) -> str:
+        return prefix + re.sub(r"[^0-9A-Za-z_]", "_", v)
+
+    arcs = tuple(
+        Arc(a.type, tuple(r(t) for t in a.tails), tuple(r(h) for h in a.heads),
+            a.params)
+        for a in built.graph.arcs
+    )
+    graph = ConnectorGraph({r(v) for v in built.graph.vertices}, arcs)
+    return graph, [r(t) for t in built.tails], [r(h) for h in built.heads]
+
+
+def build_program(chains, name: str = "Fuzz") -> FuzzProgram:
+    """Deterministically materialize ``chains`` (tuples of ``(name, n)``
+    stages) into a compiled-and-spelled :class:`FuzzProgram`.
+
+    Stage ``s`` of chain ``c`` gets vertex prefix ``c{c}s{s}_``; the glue
+    between consecutive stages is a ``fifo1`` arc from the *first* head of
+    the earlier stage to the *first* tail of the later one (deterministic —
+    rebuilding with a chain removed keeps every surviving vertex name, which
+    is what lets the shrinker edit ``chains`` without invalidating the
+    script's vertex references).
+    """
+    from repro.lang.graph2text import graph_to_text
+
+    vertices: set[str] = set()
+    arcs: list[Arc] = []
+    tails: list[str] = []
+    heads: list[str] = []
+    glue = 0
+    for ci, chain in enumerate(chains):
+        prev_heads: list[str] = []
+        for si, (cname, n) in enumerate(chain):
+            built = library.build_graph(cname, n)
+            graph, stage_tails, stage_heads = _renamed(built, f"c{ci}s{si}_")
+            vertices |= graph.vertices
+            arcs.extend(graph.arcs)
+            if si == 0:
+                tails.extend(stage_tails)
+            else:
+                # Glue: previous stage's first head feeds this stage's
+                # first tail through a fifo1; the rest stay boundary.
+                arcs.append(Arc("fifo1", (prev_heads[0],), (stage_tails[0],)))
+                glue += 1
+                tails.extend(stage_tails[1:])
+                heads.extend(prev_heads[1:])
+            prev_heads = stage_heads
+        heads.extend(prev_heads)
+    graph = ConnectorGraph(vertices, tuple(arcs))
+    dsl = graph_to_text(graph, tails, heads, name=name)
+    capacity = None
+    if len(chains) == 1 and all(cn == "FifoChain" for cn, _ in chains[0]):
+        capacity = sum(n for _, n in chains[0]) + glue
+    return FuzzProgram(
+        name=name,
+        dsl=dsl,
+        protocol=name,
+        tails=tuple(tails),
+        heads=tuple(heads),
+        channel_capacity=capacity,
+        chains=tuple(tuple(chain) for chain in chains),
+    )
+
+
+def from_library(cname: str, n: int) -> FuzzProgram:
+    """A single-stage program wrapping one library connector — the shape the
+    tier-1 cross-product matrix test runs (tests/fuzz/test_mode_matrix.py)."""
+    return build_program((((cname, n),),), name=f"M_{cname}{n}")
+
+
+def generate(seed: int, *, max_chains: int = 2, max_stages: int = 2,
+             max_arity: int = MAX_ARITY,
+             port_budget: int = PORT_BUDGET) -> FuzzProgram:
+    """The seeded random program for ``seed`` (pure: same seed, same
+    program)."""
+    rng = random.Random(f"fuzzgen:{seed}")
+    arities = _arity_table()
+    pool = sorted(arities)
+    if rng.random() < 0.25:
+        # Channelable seed: a pure fifo pipeline, the only program family
+        # the channels execution mode can model (module docstring).
+        chains = [tuple(
+            ("FifoChain", rng.randint(1, max_arity))
+            for _ in range(rng.randint(1, max_stages))
+        )]
+        return build_program(chains, name=f"Fz{seed}")
+
+    n_chains = rng.randint(1, max_chains)
+    ports = 0
+    chains: list[tuple] = []
+    for _ in range(n_chains):
+        n_stages = rng.randint(1, max_stages)
+        chain: list[tuple[str, int]] = []
+        for si in range(n_stages):
+            placed = None
+            for _attempt in range(8):
+                cname = rng.choice(pool)
+                n = rng.choice([a for a in arities[cname] if a <= max_arity])
+                built = library.build_graph(cname, n)
+                # A glued stage consumes one head of the previous stage and
+                # one of its own tails, so it adds two fewer boundary ports
+                # than a chain-opening stage does.
+                cost = len(built.tails) + len(built.heads) - (2 if chain else 0)
+                if ports + cost > port_budget:
+                    continue
+                ports += cost
+                chain.append((cname, n))
+                placed = built
+                break
+            if placed is None or not placed.heads:
+                break  # budget exhausted, or a headless stage ends the chain
+        if chain:
+            chains.append(tuple(chain))
+        if ports >= port_budget:
+            break
+    if not chains:
+        chains = [(("Merger", 2),)]
+    return build_program(chains, name=f"Fz{seed}")

@@ -1,0 +1,222 @@
+"""Delta-debugging shrinker and self-contained replay files.
+
+Given a failing (program, script, schedule) triple and a ``still_fails``
+predicate (re-running the harness), the shrinker minimizes along four axes,
+each step revalidated on the reference simulator so every intermediate
+candidate is a *well-formed deterministic script* — shrinking never
+wanders outside the space the oracle is sound for:
+
+1. **prefix** — binary-search the shortest failing batch prefix;
+2. **batches** — greedily delete interior batches (last to first);
+3. **ops** — greedily delete single operations inside surviving batches;
+4. **structure** — for generated programs (with ``chains`` metadata), drop
+   whole chains, then trailing stages; vertex naming is prefix-stable
+   (:func:`repro.fuzz.gen.build_program`), so the surviving script is
+   rewritten by simply discarding operations on vanished vertices;
+5. **schedule** — drop flood injections, then the checkpoint split.
+
+The result is written as a *replay file*: a single JSON document embedding
+the DSL text, script, schedule, modes, and the expected outcome — enough to
+re-run years later with no generator, no seed, and no library lookup
+(``python -m repro fuzz replay FILE``).  Failure replays are what the CI
+fuzz-smoke job uploads; passing replays live in ``tests/fuzz/corpus/`` and
+are replayed by the ``fuzz``-marked pytest suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.fuzz.gen import FuzzProgram, build_program
+from repro.fuzz.sim import Batch, Schedule, Script, SimOp, revalidate
+
+
+def shrink(program, script, schedule, still_fails, *, max_rounds: int = 2):
+    """Minimize; returns ``(program, script, schedule)``.
+
+    ``still_fails(program, script, schedule) -> bool`` re-runs the harness;
+    it must be true for the input triple (the caller just observed the
+    failure)."""
+
+    def attempt(prog, batches, sched):
+        """Revalidate a candidate and test it; returns the revalidated
+        triple or None."""
+        new_script = revalidate(prog, batches)
+        if new_script is None:
+            return None
+        sched = _clip_schedule(sched, new_script)
+        if not still_fails(prog, new_script, sched):
+            return None
+        return prog, new_script, sched
+
+    # 1. Shortest failing prefix (binary search on length).
+    lo, hi = 1, len(script.batches)
+    best = (program, script, schedule)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        got = attempt(best[0], best[1].batches[:mid], best[2])
+        if got is not None:
+            best = got
+            hi = len(got[1].batches)
+        else:
+            lo = mid + 1
+
+    for _ in range(max_rounds):
+        changed = False
+        # 2. Drop interior batches.
+        i = len(best[1].batches) - 1
+        while i >= 0 and len(best[1].batches) > 1:
+            candidate = best[1].batches[:i] + best[1].batches[i + 1:]
+            got = attempt(best[0], candidate, best[2])
+            if got is not None:
+                best = got
+                changed = True
+            i -= 1
+        # 3. Drop single ops.
+        i = 0
+        while i < len(best[1].batches):
+            ops = best[1].batches[i].ops
+            j = 0
+            while j < len(ops) and len(ops) > 1:
+                cand_ops = ops[:j] + ops[j + 1:]
+                candidate = (best[1].batches[:i]
+                             + [Batch(cand_ops)]
+                             + best[1].batches[i + 1:])
+                got = attempt(best[0], candidate, best[2])
+                if got is not None:
+                    best = got
+                    ops = best[1].batches[i].ops
+                    changed = True
+                else:
+                    j += 1
+            i += 1
+        # 4. Structural shrink (generated programs only).
+        prog = best[0]
+        if prog.chains:
+            for chains in _structural_candidates(prog.chains):
+                smaller = build_program(chains, name=prog.name)
+                got = attempt(smaller, best[1].batches, best[2])
+                if got is not None:
+                    best = got
+                    changed = True
+                    break
+        # 5. Simplify the schedule.
+        sched = best[2]
+        for drop in list(sched.floods):
+            cand = Schedule(sched.checkpoint_at,
+                            tuple(f for f in sched.floods if f != drop))
+            if still_fails(best[0], best[1], cand):
+                best = (best[0], best[1], cand)
+                sched = cand
+                changed = True
+        if sched.checkpoint_at is not None:
+            cand = Schedule(None, sched.floods)
+            if still_fails(best[0], best[1], cand):
+                best = (best[0], best[1], cand)
+                changed = True
+        if not changed:
+            break
+    return best
+
+
+def _structural_candidates(chains):
+    """Smaller chain structures to try, biggest cut first: drop a whole
+    chain, then a trailing stage of some chain."""
+    chains = list(chains)
+    if len(chains) > 1:
+        for i in range(len(chains)):
+            yield tuple(chains[:i] + chains[i + 1:])
+    for i, chain in enumerate(chains):
+        if len(chain) > 1:
+            yield tuple(
+                tuple(chain[:-1]) if j == i else c
+                for j, c in enumerate(chains)
+            )
+
+
+def _clip_schedule(schedule, script) -> Schedule:
+    """Restrict ``schedule`` to what ``script`` still supports."""
+    n = len(script.batches)
+    cp = schedule.checkpoint_at
+    if cp is not None and not 1 <= cp < n:
+        cp = None
+    flood_ok = set(script.flood_points)
+    floods = tuple(f for f in schedule.floods if tuple(f) in flood_ok)
+    return Schedule(checkpoint_at=cp, floods=floods)
+
+
+# ---------------------------------------------------------------- replay IO
+
+
+def to_replay(program, script, schedule, *, seed=None, expect: str,
+              inject: str | None = None, note: str = "") -> dict:
+    """The self-contained JSON document for one run."""
+    return {
+        "format": "repro-fuzz-replay-v1",
+        "note": note,
+        "seed": seed,
+        "expect": expect,  # "ok" | "divergence"
+        "inject": inject,
+        "program": {
+            "name": program.name,
+            "dsl": program.dsl,
+            "protocol": program.protocol,
+            "sizes": program.sizes,
+            "channel_capacity": program.channel_capacity,
+            "chains": [list(map(list, c)) for c in program.chains],
+        },
+        "script": {
+            "batches": [
+                [[op.kind, op.vertex, op.value] for op in b.ops]
+                for b in script.batches
+            ],
+            "flood_points": [list(p) for p in script.flood_points],
+        },
+        "schedule": {
+            "checkpoint_at": schedule.checkpoint_at,
+            "floods": [list(f) for f in schedule.floods],
+        },
+    }
+
+
+def from_replay(doc: dict):
+    """Inverse of :func:`to_replay` → ``(program, script, schedule, meta)``."""
+    p = doc["program"]
+    program = FuzzProgram(
+        name=p["name"],
+        dsl=p["dsl"],
+        protocol=p.get("protocol"),
+        sizes=p.get("sizes"),
+        channel_capacity=p.get("channel_capacity"),
+        chains=tuple(tuple(tuple(s) for s in c) for c in p.get("chains", ())),
+    )
+    script = Script(
+        batches=[
+            Batch(tuple(SimOp(k, v, val) for k, v, val in b))
+            for b in doc["script"]["batches"]
+        ],
+        flood_points=[tuple(p) for p in doc["script"].get("flood_points", [])],
+    )
+    sched = doc.get("schedule", {})
+    schedule = Schedule(
+        checkpoint_at=sched.get("checkpoint_at"),
+        floods=tuple(tuple(f) for f in sched.get("floods", ())),
+    )
+    meta = {
+        "expect": doc.get("expect", "ok"),
+        "inject": doc.get("inject"),
+        "seed": doc.get("seed"),
+        "note": doc.get("note", ""),
+    }
+    return program, script, schedule, meta
+
+
+def save_replay(path, doc: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_replay(path):
+    with open(path) as fh:
+        return from_replay(json.load(fh))

@@ -42,6 +42,7 @@ linked to outports/inports), and execution options:
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
@@ -129,6 +130,15 @@ class RuntimeConnector(Connector):
         self._outports: list[Outport] = []
         self._inports: list[Inport] = []
         self.departures: list = []  # DepartureReports, in order
+        # Serializes the administrative operations (checkpoint, restore,
+        # leave).  leave() has an unavoidable unlocked prelude — plan
+        # re-evaluation, buffer-snapshot capture, port detachment — before
+        # the atomic engine.reconfigure(); a checkpoint interleaved into
+        # that window could observe half-detached parties or a signature
+        # about to vanish.  Engine-level ops already serialize under the
+        # engine locks; this lock extends the guarantee to the connector
+        # layer.  See tests/runtime/test_admin_race.py.
+        self._admin_lock = threading.Lock()
 
         overlap = set(self.tail_vertices) & set(self.head_vertices)
         if overlap:
@@ -247,13 +257,26 @@ class RuntimeConnector(Connector):
         returned :class:`~repro.runtime.recovery.Checkpoint` can be restored
         into this connector or into a freshly built, structurally identical
         one (same definition, same arity, same composition options).
+
+        Serialized against :meth:`restore` and :meth:`leave` (a checkpoint
+        requested while a departure is re-parametrizing the connector waits
+        and then snapshots the *post-departure* state; it never observes the
+        intermediate one).
         """
-        return self._require_engine().checkpoint(name=name or self.name)
+        engine = self._require_engine()
+        with self._admin_lock:
+            return engine.checkpoint(name=name or self.name)
 
     def restore(self, cp) -> None:
         """Restore a :class:`~repro.runtime.recovery.Checkpoint` taken from
-        this connector or a structurally identical instance."""
-        self._require_engine().restore(cp)
+        this connector or a structurally identical instance.
+
+        Raises :class:`~repro.util.errors.CheckpointError` when the
+        snapshot's boundary signature does not match this connector — e.g.
+        a checkpoint taken before a :meth:`leave` restored after it."""
+        engine = self._require_engine()
+        with self._admin_lock:
+            engine.restore(cp)
 
     def leave(self, *ports, task: str = "", cause: BaseException | None = None):
         """Permanently remove the party owning ``ports`` and re-parametrize.
@@ -275,7 +298,16 @@ class RuntimeConnector(Connector):
         no plan to re-evaluate), and :class:`CompilationError` when the
         departure is structurally impossible (scalar parameter, last array
         element).
+
+        Serialized against :meth:`checkpoint`/:meth:`restore` via the
+        connector's admin lock: a concurrent checkpoint observes either
+        the pre- or the post-departure protocol, never the re-evaluation
+        window in between (tests/runtime/test_admin_race.py).
         """
+        with self._admin_lock:
+            return self._leave_locked(ports, task, cause)
+
+    def _leave_locked(self, ports, task: str, cause: BaseException | None):
         from repro.compiler.parametrized import shrink_bindings
         from repro.runtime.recovery import (
             DepartureReport,

@@ -460,6 +460,106 @@ class CoordinatorEngine:
         ok = self._try_submit(self._pending_recv[vertex], op)
         return (ok, op.value if ok else None)
 
+    def post_send(self, vertex: str, value, policy: "OverloadPolicy | None" = None):
+        """Asynchronous send: enqueue the operation, drain, and return its
+        handle without ever blocking the caller.
+
+        Unlike :meth:`try_submit_send` the offer is *not* withdrawn when no
+        transition fires immediately — it stays pending, exactly as a
+        blocked :meth:`submit_send` would, and completes when a later
+        firing consumes it.  The returned handle exposes ``done`` /
+        ``value`` / ``error``.  This is what lets a single OS thread drive
+        all parties of a synchronous step (the differential-fuzzing
+        harness's deterministic scheduler, :mod:`repro.fuzz.harness`): post
+        every operation of the step in a fixed order, and the final post's
+        drain fires the transition synchronously in the posting thread.
+
+        A non-``block`` ``policy`` (or configured vertex policy) is applied
+        exactly as in the blocking path: a posted send that cannot complete
+        in the submission drain is shed or rejected immediately.
+        """
+        op = _Op(vertex, value)
+        self._post(self._pending_send[vertex], op, policy, True)
+        return op
+
+    def post_recv(self, vertex: str):
+        """Asynchronous receive; see :meth:`post_send`.  The delivered value
+        appears as ``handle.value`` once ``handle.done`` is true."""
+        op = _Op(vertex)
+        self._post(self._pending_recv[vertex], op, None, False)
+        return op
+
+    def _post(self, queue: deque, op: _Op, policy, is_send: bool) -> None:
+        if self._serial:
+            with self._cond:
+                self._check_open(op.vertex)
+                if is_send and self._draining:
+                    raise PortClosedError(
+                        f"vertex {op.vertex!r} rejected: connector draining"
+                    )
+                op.t_enq = time.monotonic()
+                op.steps_enq = self._steps_approx
+                self._mark_active(op.vertex, op.t_enq)
+                mx = self._metrics
+                if mx is not None:
+                    child = (mx.sub_send if is_send else mx.sub_recv).get(op.vertex)
+                    if child is not None:
+                        child.value += 1.0
+                queue.append(op)
+                self._drain_serial()
+                if op.done or op.error is not None:
+                    return
+                pol = policy if policy is not None else self._policies.get(op.vertex)
+                if (
+                    pol is not None
+                    and pol.kind != "block"
+                    and len(queue) > pol.max_pending
+                ):
+                    self._overflow(queue, op, pol)
+            return
+        spill: list = []
+        try:
+            region = self._acquire_owner(op.vertex)
+            if region is None:
+                raise KeyError(op.vertex)
+            try:
+                self._check_open(op.vertex)
+                if is_send and self._draining:
+                    raise PortClosedError(
+                        f"vertex {op.vertex!r} rejected: connector draining"
+                    )
+                op.t_enq = time.monotonic()
+                op.steps_enq = self._steps_approx
+                self._mark_active(op.vertex, op.t_enq)
+                mx = self._metrics
+                if mx is not None:
+                    child = (mx.sub_send if is_send else mx.sub_recv).get(op.vertex)
+                    if child is not None:
+                        child.value += 1.0
+                queue.append(op)
+                region.pend[op.vertex] = None
+                region.dirty = True
+                self._drain_region(region, spill)
+                if not op.done and op.error is None:
+                    pol = (policy if policy is not None
+                           else self._policies.get(op.vertex))
+                    if (
+                        pol is not None
+                        and pol.kind != "block"
+                        and len(queue) > pol.max_pending
+                    ):
+                        self._overflow(queue, op, pol, region)
+                    if not op.done and op.error is None:
+                        # Wakeup slot installed for uniformity: a later
+                        # firing (or close) sets it, and anything joining
+                        # on the handle can wait on it.
+                        op.event = threading.Event()
+            finally:
+                region.lock.release()
+        finally:
+            if spill:
+                self._chase(spill)
+
     def register_party(self, key, name: str = "", vertex: str | None = None) -> None:
         """Declare a party (task) of this protocol instance.
 
@@ -735,6 +835,10 @@ class CoordinatorEngine:
                     buffers=self.buffers.snapshot(),
                     steps=self.steps,
                     parties=parties,
+                    boundary=(
+                        tuple(sorted(self.sources)),
+                        tuple(sorted(self.sinks)),
+                    ),
                 )
             finally:
                 self._release(locks)
@@ -754,6 +858,19 @@ class CoordinatorEngine:
             self._acquire(locks)
             try:
                 self._require_quiescent("restore")
+                if cp.boundary:
+                    here = (
+                        tuple(sorted(self.sources)),
+                        tuple(sorted(self.sinks)),
+                    )
+                    if tuple(cp.boundary) != here:
+                        raise CheckpointError(
+                            "checkpoint boundary signature "
+                            f"{tuple(cp.boundary)!r} does not match engine "
+                            f"{here!r} — the snapshot was taken from a "
+                            "structurally different connector (e.g. before "
+                            "a re-parametrization)"
+                        )
                 if len(cp.regions) != len(self.regions):
                     raise CheckpointError(
                         f"checkpoint has {len(cp.regions)} regions, engine has "

@@ -78,6 +78,15 @@ class Checkpoint:
     vertices) at snapshot time — informational, since live task identities
     cannot be persisted, but enough to check that a restored topology has
     the same shape.
+
+    ``boundary`` is the engine's boundary signature at snapshot time —
+    ``(sorted sources, sorted sinks)``.  Restore validates it against the
+    target engine, so a checkpoint taken before a re-parametrization
+    (:meth:`~repro.runtime.connector.RuntimeConnector.leave`) fails with a
+    typed :class:`~repro.util.errors.CheckpointError` when restored into
+    the re-parametrized (different-arity) instance, instead of silently
+    restoring control states under the wrong signature.  The empty default
+    keeps hand-built checkpoints (no signature recorded) restorable.
     """
 
     connector: str
@@ -85,6 +94,7 @@ class Checkpoint:
     buffers: dict[str, tuple]
     steps: int
     parties: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    boundary: tuple = ()
 
     def __str__(self) -> str:  # pragma: no cover - debug aid
         held = sum(len(v) for v in self.buffers.values())

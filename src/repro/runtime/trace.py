@@ -15,6 +15,22 @@ This recorder is the *event-ordered* observability surface; the
 (Prometheus text, JSON snapshots, Chrome/Perfetto traces).  See
 docs/OBSERVABILITY.md for the full catalogue and recipes.
 
+Ordering contract (the fuzzer's normalization rules build on this):
+
+* ``seq`` is a *global* arrival number.  Under the regions engine two
+  regions fire on different OS threads, so the interleaving of ``seq``
+  across regions is scheduling-dependent — two runs of the same program
+  may record the same firings with different global interleavings.
+* ``rseq`` is a *per-region* monotonic sequence (0, 1, 2, … within each
+  region, restarting at :meth:`TraceRecorder.clear`).  Every region fires
+  its steps under its own region lock, so ``rseq`` order *is* firing
+  order within the region — deterministic for a deterministic workload.
+* A boundary vertex belongs to exactly one region, therefore the events
+  completing operations of one port, ordered by ``rseq``, form a
+  deterministic per-port observation sequence.  This is the order the
+  differential-fuzzing oracle (:mod:`repro.fuzz.oracle`) compares; see
+  docs/INTERNALS.md §10 for the full normalization rules.
+
 Usage::
 
     tracer = TraceRecorder()
@@ -42,6 +58,10 @@ class TraceEvent:
     and ``waits`` the ``(vertex, seconds)`` enqueue-to-fire age of every
     boundary operation the step completed — the raw material of the
     Chrome-trace span exporter.
+
+    ``seq`` is the global arrival number (scheduling-dependent across
+    regions); ``rseq`` is the per-region monotonic sequence — the
+    deterministic order the fuzzing oracle sorts by (module docstring).
     """
 
     seq: int
@@ -52,6 +72,7 @@ class TraceEvent:
     deliveries: tuple[tuple[str, object], ...]
     t: float = 0.0
     waits: tuple[tuple[str, float], ...] = ()
+    rseq: int = 0
 
     def __str__(self) -> str:
         parts = "{" + ",".join(sorted(self.label)) + "}"
@@ -76,6 +97,7 @@ class TraceRecorder:
         self._events: list[TraceEvent] = []
         self._lock = threading.Lock()
         self._counter = itertools.count()
+        self._region_counters: dict[int, int] = {}
         self.dropped = 0
 
     # -- recording (called by the engine, under the engine lock) ------------
@@ -90,17 +112,20 @@ class TraceRecorder:
         t: float | None = None,
         waits=(),
     ) -> None:
-        event = TraceEvent(
-            next(self._counter),
-            region,
-            label,
-            tuple(completed_sends),
-            tuple(completed_recvs),
-            tuple(deliveries),
-            t if t is not None else 0.0,
-            tuple(waits),
-        )
         with self._lock:
+            rseq = self._region_counters.get(region, 0)
+            self._region_counters[region] = rseq + 1
+            event = TraceEvent(
+                next(self._counter),
+                region,
+                label,
+                tuple(completed_sends),
+                tuple(completed_recvs),
+                tuple(deliveries),
+                t if t is not None else 0.0,
+                tuple(waits),
+                rseq,
+            )
             self._events.append(event)
             if len(self._events) > self.capacity:
                 self._events.pop(0)
@@ -117,6 +142,7 @@ class TraceRecorder:
         with self._lock:
             self._events.clear()
             self._counter = itertools.count()
+            self._region_counters.clear()
             self.dropped = 0
             self.t0 = time.monotonic()
 

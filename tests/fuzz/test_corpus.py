@@ -1,0 +1,33 @@
+"""Replay the checked-in fuzz corpus (``fuzz`` marker).
+
+Every shrunk or feature-rich replay file in ``tests/fuzz/corpus/`` is
+re-executed through the full mode matrix and must reproduce its recorded
+outcome: ``"ok"`` replays stay convergent, ``"divergence"`` replays (which
+carry an intentional injection) must still be caught by the oracle.  The
+CI fuzz-smoke job selects these with ``-m fuzz``; they also run in tier-1.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz.harness import run_all
+from repro.fuzz.inject import INJECTIONS
+from repro.fuzz.shrink import load_replay
+
+pytestmark = pytest.mark.fuzz
+
+CORPUS = sorted((pathlib.Path(__file__).parent / "corpus").glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS) >= 5
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+def test_replay_matches_recorded_outcome(path):
+    program, script, schedule, meta = load_replay(path)
+    inject = INJECTIONS[meta["inject"]] if meta.get("inject") else None
+    _, diffs = run_all(program, script, schedule, inject=inject)
+    outcome = "divergence" if diffs else "ok"
+    assert outcome == meta["expect"], diffs

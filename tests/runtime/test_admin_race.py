@@ -1,0 +1,103 @@
+"""Checkpoint/restore vs leave: serialization and typed-error contracts.
+
+The connector's admin lock serializes :meth:`checkpoint`, :meth:`restore`
+and :meth:`leave`; a checkpoint observes either the pre-departure or the
+post-departure protocol, never the re-parametrization window in between,
+and a stale checkpoint restored after a departure fails with a *typed*
+:class:`~repro.util.errors.CheckpointError` (boundary-signature mismatch)
+rather than silently resurrecting the departed party's state.
+"""
+
+import threading
+
+import pytest
+
+from repro.connectors import library
+from repro.runtime.ports import mkports
+from repro.util.errors import CheckpointError
+
+OP_TIMEOUT = 5.0
+
+
+def test_restore_after_leave_raises_typed_error():
+    """A checkpoint taken before a departure is stale afterwards."""
+    conn = library.connector("Merger", 2, default_timeout=OP_TIMEOUT)
+    outs, ins = mkports(2, 1)
+    conn.connect(outs, ins)
+    try:
+        cp = conn.checkpoint("pre-leave")
+        report = conn.leave(outs[0], task="A")
+        assert report.task == "A" and report.removed_vertices
+        with pytest.raises(CheckpointError, match="boundary signature"):
+            conn.restore(cp)
+    finally:
+        conn.close()
+
+
+def test_cross_arity_restore_raises_typed_error():
+    """Restoring into a structurally different connector is refused."""
+    big = library.connector("Merger", 3, default_timeout=OP_TIMEOUT)
+    outs3, ins3 = mkports(3, 1)
+    big.connect(outs3, ins3)
+    small = library.connector("Merger", 2, default_timeout=OP_TIMEOUT)
+    outs2, ins2 = mkports(2, 1)
+    small.connect(outs2, ins2)
+    try:
+        cp = big.checkpoint()
+        with pytest.raises(CheckpointError):
+            small.restore(cp)
+    finally:
+        big.close()
+        small.close()
+
+
+def test_post_departure_checkpoint_restores_cleanly():
+    """The non-racy half of the contract: a checkpoint taken *after* the
+    departure restores into the re-parametrized connector."""
+    conn = library.connector("Merger", 2, default_timeout=OP_TIMEOUT)
+    outs, ins = mkports(2, 1)
+    conn.connect(outs, ins)
+    try:
+        conn.leave(outs[0], task="A")
+        cp = conn.checkpoint("post-leave")
+        conn.restore(cp)  # must not raise
+    finally:
+        conn.close()
+
+
+@pytest.mark.fault_stress
+def test_checkpoint_hammer_never_observes_reparametrization_window():
+    """Hammer checkpoint() from a thread while leave() re-parametrizes:
+    every snapshot's boundary signature must be exactly the pre- or the
+    post-departure one — the admin lock admits no intermediate state."""
+    for round_ in range(5):
+        conn = library.connector("Barrier", 3, default_timeout=OP_TIMEOUT)
+        outs, ins = mkports(3, 3)
+        conn.connect(outs, ins)
+        pre = conn.checkpoint().boundary
+        snapshots: list = []
+        errors: list = []
+        start = threading.Barrier(2)
+
+        def hammer():
+            start.wait()
+            for _ in range(50):
+                try:
+                    snapshots.append(conn.checkpoint().boundary)
+                except Exception as exc:  # typed errors only, and none here
+                    errors.append(exc)
+
+        t = threading.Thread(target=hammer)
+        t.start()
+        start.wait()
+        conn.leave(outs[round_ % 3], task=f"p{round_ % 3}")
+        t.join(OP_TIMEOUT + 5)
+        assert not t.is_alive()
+        post = conn.checkpoint().boundary
+        conn.close()
+        assert not errors, errors
+        assert pre != post
+        for b in snapshots:
+            assert b in (pre, post), (
+                f"round {round_}: checkpoint saw intermediate boundary {b!r}"
+            )

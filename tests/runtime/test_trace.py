@@ -97,6 +97,42 @@ def test_firings_of_filters_by_vertex():
     assert len(tracer.firings_of("nonexistent")) == 0
 
 
+def test_rseq_is_per_region_monotonic():
+    """``rseq`` restarts at 0 per region and counts contiguously within
+    it, independent of the global ``seq`` interleaving (the ordering
+    contract the fuzzing oracle's normalization builds on)."""
+    tracer = TraceRecorder()
+    for region in (0, 1, 0, 2, 1, 0):
+        tracer.record(region, frozenset({"v"}), (), (), ())
+    by_region = {}
+    for ev in tracer.events:
+        by_region.setdefault(ev.region, []).append(ev.rseq)
+    assert by_region == {0: [0, 1, 2], 1: [0, 1], 2: [0]}
+
+
+def test_rseq_contiguous_under_regions_engine():
+    """Same contract on a real partitioned run: each region's events carry
+    rseq 0..k-1 in recording order."""
+    tracer = TraceRecorder()
+    conn = library.connector(
+        "FifoChain", 3, tracer=tracer,
+        concurrency="regions", use_partitioning=True,
+    )
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    for i in range(3):
+        outs[0].send(i)
+    for i in range(3):
+        assert ins[0].recv() == i
+    conn.close()
+    assert tracer.events
+    by_region = {}
+    for ev in tracer.events:
+        by_region.setdefault(ev.region, []).append(ev.rseq)
+    for region, rseqs in by_region.items():
+        assert rseqs == list(range(len(rseqs))), (region, rseqs)
+
+
 def test_event_str():
     tracer = TraceRecorder()
     conn = traced_connector("P(a;b) = Fifo1(a;b)", tracer)

@@ -12,7 +12,10 @@ EXPERIMENTS.md, docs/*.md):
 2. **Executable examples** — every fenced ```python block in
    docs/OBSERVABILITY.md, plus the block(s) in README.md's
    "Observability quickstart" section, is run in a subprocess with
-   ``PYTHONPATH=src``.  Docs that stop working stop merging.
+   ``PYTHONPATH=src``; the fenced ```bash blocks in docs/INTERNALS.md
+   §10's "Running it" subsection (the ``python -m repro fuzz`` examples)
+   run through ``bash -e`` the same way.  Docs that stop working stop
+   merging.
 
 Exit status 0 when everything passes; each failure is printed with
 ``file:line``.  Run from the repository root (CI) or anywhere inside it::
@@ -40,6 +43,12 @@ DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
 EXECUTE = {
     "docs/OBSERVABILITY.md": None,
     "README.md": "Observability quickstart",
+}
+
+#: Same, for fenced ```bash blocks (run via ``bash -e`` in a temporary
+#: directory — command examples must be self-contained and CWD-free).
+EXECUTE_SHELL = {
+    "docs/INTERNALS.md": "Running it",  # §10 Differential fuzzing
 }
 
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
@@ -95,9 +104,11 @@ def check_links() -> list[str]:
     return errors
 
 
-def fenced_blocks(path: pathlib.Path, section: str | None) -> list[tuple[int, str]]:
-    """(start line, code) for each ```python block, optionally only those
-    under the given heading (until the next heading of any level)."""
+def fenced_blocks(path: pathlib.Path, section: str | None,
+                  language: str = "python") -> list[tuple[int, str]]:
+    """(start line, code) for each fenced block of ``language``, optionally
+    only those under the given heading (until the next heading of any
+    level)."""
     blocks: list[tuple[int, str]] = []
     in_section = section is None
     lang = None
@@ -112,7 +123,7 @@ def fenced_blocks(path: pathlib.Path, section: str | None) -> list[tuple[int, st
         if lang is None and fm:
             lang, buf, start = fm.group(1), [], lineno
         elif lang is not None and line.strip() == "```":
-            if lang == "python" and in_section:
+            if lang == language and in_section:
                 blocks.append((start, "\n".join(buf) + "\n"))
             lang = None
         elif lang is not None:
@@ -126,19 +137,30 @@ def run_blocks() -> list[str]:
     env["PYTHONPATH"] = str(ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    for rel, section in EXECUTE.items():
+    # bash blocks say `python`: make sure it resolves to this interpreter
+    env["PATH"] = os.path.dirname(sys.executable) + os.pathsep + env["PATH"]
+    plans = [
+        (rel, section, "python", [sys.executable, "-c"])
+        for rel, section in EXECUTE.items()
+    ] + [
+        (rel, section, "bash", ["bash", "-e", "-c"])
+        for rel, section in EXECUTE_SHELL.items()
+    ]
+    for rel, section, language, runner in plans:
         path = ROOT / rel
         if not path.exists():
             errors.append(f"{rel}: file listed in EXECUTE is missing")
             continue
-        blocks = fenced_blocks(path, section)
+        blocks = fenced_blocks(path, section, language)
         if not blocks:
-            errors.append(f"{rel}: no fenced python blocks found to execute")
+            errors.append(
+                f"{rel}: no fenced {language} blocks found to execute"
+            )
         for lineno, code in blocks:
             with tempfile.TemporaryDirectory() as tmp:
                 proc = subprocess.run(
-                    [sys.executable, "-c", code],
-                    capture_output=True, text=True, timeout=120,
+                    runner + [code],
+                    capture_output=True, text=True, timeout=300,
                     env=env, cwd=tmp,  # blocks must not depend on the CWD
                 )
             if proc.returncode != 0:
