@@ -1,0 +1,70 @@
+"""Record / check the serving-layer baseline, BENCH_serve.json.
+
+The serving analogue of ``record.py``: runs the SLO-gated chaos load
+harness (:mod:`repro.serve.loadgen`) at a fixed seeded spec and persists
+the audited report — submit-latency percentiles, per-session delivery /
+shed books, restart round-trips — at the repo root.  ``--check`` re-runs
+the recorded spec and fails on any audit failure or a p99 more than
+``loadgen.LATENCY_BUDGET``× the recorded value (looser than the engine
+microbenchmark's 1.25: load p99 on a shared CI box is noisy; the audits —
+conservation, exactly-once, supervision — are exact and never get slack).
+
+Usage::
+
+    python benchmarks/bench_serve.py           # full run, rewrite JSON
+    python benchmarks/bench_serve.py --quick   # CI-sized run, rewrite JSON
+    python benchmarks/bench_serve.py --check   # regression gate (CI)
+"""
+
+import argparse
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+DEFAULT_OUT = ROOT / "BENCH_serve.json"
+
+
+def _spec(quick: bool):
+    from repro.serve.loadgen import LoadSpec
+
+    if quick:
+        return LoadSpec(sessions=4, tenants=2, duration=1.0, overload=2.0,
+                        seed=7)
+    return LoadSpec(seed=7)  # 8 sessions, 4x overload, all four chaos kinds
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(DEFAULT_OUT))
+    ap.add_argument("--quick", action="store_true",
+                    help="CI-sized spec (4 sessions, 2x, 1s)")
+    ap.add_argument("--check", action="store_true",
+                    help="gate a fresh run against the recorded baseline")
+    args = ap.parse_args(argv)
+
+    from repro.serve import loadgen
+
+    if args.check:
+        ok, messages, fresh = loadgen.check(args.out)
+        print(f"fresh: p99={fresh.p99 * 1e3:.2f}ms "
+              f"delivered={fresh.totals['delivered']} "
+              f"dead_letters={fresh.totals['dead_letters']}")
+        for line in messages:
+            print(f"FAIL: {line}")
+        print("bench_serve check:", "ok" if ok else "REGRESSION")
+        return 0 if ok else 1
+
+    report = loadgen.record(args.out, _spec(args.quick))
+    print(f"wrote {args.out}")
+    print(f"p50={report.p50 * 1e3:.2f}ms p99={report.p99 * 1e3:.2f}ms "
+          f"submitted={report.totals['submitted']} "
+          f"delivered={report.totals['delivered']} "
+          f"dead_letters={report.totals['dead_letters']} "
+          f"restarts={report.restarts_done} ok={report.ok}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

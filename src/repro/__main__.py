@@ -28,6 +28,10 @@ Subcommands::
         pair, trace-equivalence oracle, shrink-to-minimal replay files
         (docs/INTERNALS.md §10)
 
+    python -m repro serve [--load-test ...]
+        the multi-tenant coordinator service: a hosted demo, or the
+        SLO-gated chaos load harness (docs/SERVICE.md)
+
     python -m repro fig12 / fig13 ...
         the benchmark runners (same flags as python -m repro.bench.fig12/13)
 
@@ -275,8 +279,10 @@ def main(argv=None) -> int:
     p.set_defaults(fn=_cmd_reproduce)
 
     from repro.fuzz.cli import add_subparsers as _add_fuzz
+    from repro.serve.cli import add_subparsers as _add_serve
 
     _add_fuzz(sub)
+    _add_serve(sub)
 
     args = ap.parse_args(argv)
     return args.fn(args)

@@ -36,7 +36,13 @@ from repro.runtime.overload import OverloadPolicy
 from repro.runtime.ports import Inport, Outport
 from repro.runtime.trace import TraceRecorder
 
-#: Connector execution modes: mode name -> RuntimeConnector options.
+#: Connector execution modes: mode name -> RuntimeConnector options, plus
+#: the harness-level ``host`` key (not a connector option — strip it with
+#: :func:`connector_opts`).  ``host="serve"`` runs the same engine
+#: configuration inside a :class:`repro.serve.session.Session`: the
+#: lifecycle state machine owns build/checkpoint/restore/close, and the
+#: oracle's exact-equality comparison is the proof that hosting adds no
+#: observable protocol behaviour.
 MODES = {
     "global-jit": dict(concurrency="global", composition="jit",
                        use_partitioning=False),
@@ -46,7 +52,18 @@ MODES = {
                         use_partitioning=True),
     "regions-aot": dict(concurrency="regions", composition="aot",
                         use_partitioning=True),
+    "serve-jit": dict(concurrency="regions", composition="jit",
+                      use_partitioning=True, host="serve"),
 }
+
+
+def connector_opts(mode: str) -> dict:
+    """The :class:`RuntimeConnector` options of one mode, with harness-level
+    keys (``host``) stripped — what callers that build connectors directly
+    (e.g. :mod:`repro.fuzz.chaos`) must use instead of ``MODES[mode]``."""
+    opts = dict(MODES[mode])
+    opts.pop("host", None)
+    return opts
 
 #: The channels-model pseudo-mode (channelable programs only).
 CHANNELS_MODE = "channels"
@@ -71,7 +88,8 @@ def run_connector_mode(program, script, schedule, mode: str, *,
     """Execute under one :data:`MODES` entry; never raises — failures land
     in ``RunResult.anomalies``."""
     proto, tails, heads = _protocol(program)
-    opts = MODES[mode]
+    hosted = MODES[mode].get("host") == "serve"
+    opts = connector_opts(mode)
     result = RunResult(mode=mode)
     streams = {v: [] for v in tails + heads}
     sheds: dict[str, int] = {}
@@ -97,27 +115,57 @@ def run_connector_mode(program, script, schedule, mode: str, *,
                 oracle.conservation_violations(reg, label=f"{mode}: ")
             )
 
+    session = None
+    if hosted:
+        # The hosted path: the lifecycle state machine owns every
+        # build/checkpoint/restore/close; the factory hands it segments'
+        # registries through the box.
+        from repro.serve.session import Session
+
+        regbox: dict = {}
+
+        def factory():
+            conn, reg = build()
+            regbox["reg"] = reg
+            return conn
+
+        session = Session(f"fuzz:{program.name}", factory=factory)
+
     conn = reg = None
     try:
-        conn, reg = build()
+        if hosted:
+            session.open()
+            conn, reg = session.connector, regbox["reg"]
+        else:
+            conn, reg = build()
         for i in range(len(script.batches) + 1):
             if schedule.checkpoint_at == i:
                 try:
-                    cp = conn.checkpoint()
+                    cp = (session.checkpoint() if hosted
+                          else conn.checkpoint())
                 except Exception as exc:
                     result.anomalies.append(
                         f"checkpoint before batch {i} failed: {exc!r}"
                     )
                 else:
                     end_segment(conn, reg)
-                    _quiet_close(conn)
-                    conn, reg = build()
-                    try:
-                        conn.restore(cp)
-                    except Exception as exc:
-                        result.anomalies.append(
-                            f"restore before batch {i} failed: {exc!r}"
-                        )
+                    if hosted:
+                        try:
+                            session.reopen(cp)
+                        except Exception as exc:
+                            result.anomalies.append(
+                                f"restore before batch {i} failed: {exc!r}"
+                            )
+                        conn, reg = session.connector, regbox["reg"]
+                    else:
+                        _quiet_close(conn)
+                        conn, reg = build()
+                        try:
+                            conn.restore(cp)
+                        except Exception as exc:
+                            result.anomalies.append(
+                                f"restore before batch {i} failed: {exc!r}"
+                            )
             for bi, v in schedule.floods:
                 if bi != i:
                     continue
@@ -174,7 +222,9 @@ def run_connector_mode(program, script, schedule, mode: str, *,
     except Exception as exc:  # harness bug or engine crash: surface, not hide
         result.anomalies.append(f"run aborted: {exc!r}")
     finally:
-        if conn is not None:
+        if session is not None:
+            session.close()
+        elif conn is not None:
             _quiet_close(conn)
     result.ports = streams
     result.sync_sets = oracle.normalize_events(all_events, tails + heads)

@@ -74,8 +74,15 @@ def normalize_events(events, boundary) -> dict[str, list]:
 
 
 def conservation_violations(registry, *, label: str = "") -> list[str]:
-    """Check ``submitted == completed + shed + rejected`` per (vertex, kind)
-    over one metrics registry.  Returns human-readable violations."""
+    """Check ``submitted == completed + shed + rejected + withdrawn`` per
+    (vertex, kind) over one metrics registry.  Returns human-readable
+    violations.
+
+    ``withdrawn`` (``repro_ops_withdrawn_total``) counts submissions that
+    left the pending queue without completing — timeouts, failed ``try_*``
+    probes, and failure deliveries (close/crash/deadlock) — which is what
+    makes the law hold for timeout-driven callers (the serving layer's
+    receive loops), not only for run-to-completion scripts."""
 
     def samples(name):
         for fam in registry.collect():
@@ -85,6 +92,7 @@ def conservation_violations(registry, *, label: str = "") -> list[str]:
 
     submitted = samples("repro_ops_submitted_total")
     completed = samples("repro_ops_completed_total")
+    withdrawn = samples("repro_ops_withdrawn_total")
     shed = samples("repro_overload_shed_total")
     rejected = samples("repro_overload_rejected_total")
     shed_by_vertex: dict[tuple[str, str], float] = {}
@@ -94,14 +102,14 @@ def conservation_violations(registry, *, label: str = "") -> list[str]:
     out = []
     for (conn, vertex, kind), sub in submitted.items():
         done = completed.get((conn, vertex, kind), 0.0)
-        lost = 0.0
+        lost = withdrawn.get((conn, vertex, kind), 0.0)
         if kind == "send":
-            lost = shed_by_vertex.get((conn, vertex), 0.0)
+            lost += shed_by_vertex.get((conn, vertex), 0.0)
             lost += rejected.get((conn, vertex), 0.0)
         if sub != done + lost:
             out.append(
                 f"{label}{conn}/{vertex}/{kind}: submitted {sub:g} != "
-                f"completed {done:g} + shed/rejected {lost:g}"
+                f"completed {done:g} + shed/rejected/withdrawn {lost:g}"
             )
     return out
 

@@ -626,8 +626,10 @@ class CoordinatorEngine:
                     self._vertex_errors[vertex] = error
                     if isinstance(error, PeerFailedError):
                         self._peer_failures.append(error)
-                self._fail_queue(self._pending_send.get(vertex), error)
-                self._fail_queue(self._pending_recv.get(vertex), error)
+                self._fail_queue(self._pending_send.get(vertex), error,
+                                 is_send=True)
+                self._fail_queue(self._pending_recv.get(vertex), error,
+                                 is_send=False)
                 region = self._route.get(vertex)
                 if region is not None:
                     region.pend.pop(vertex, None)
@@ -645,9 +647,9 @@ class CoordinatorEngine:
             try:
                 self._closed = True
                 for q in self._pending_send.values():
-                    self._fail_queue(q)
+                    self._fail_queue(q, is_send=True)
                 for q in self._pending_recv.values():
-                    self._fail_queue(q)
+                    self._fail_queue(q, is_send=False)
                 for r in self.regions:
                     r.pend.clear()
                 self._wake_all_locked()
@@ -792,6 +794,12 @@ class CoordinatorEngine:
                 f"{action} requires a fully open connector: "
                 + ("engine closed" if self._closed
                    else f"closed vertices {sorted(self._closed_vertices)}")
+            )
+        if self._draining:
+            raise CheckpointError(
+                f"{action} rejected: connector is draining (a drain ends in "
+                "close, so the snapshot could never be resumed here — "
+                "checkpoint at a quiescent point before draining instead)"
             )
 
     def checkpoint(self, name: str = "") -> Checkpoint:
@@ -971,9 +979,9 @@ class CoordinatorEngine:
                 self.sinks = sinks
                 self._pending_send = {v: deque() for v in sources}
                 self._pending_recv = {v: deque() for v in sinks}
-                for old_map, new_map in (
-                    (old_send, self._pending_send),
-                    (old_recv, self._pending_recv),
+                for old_map, new_map, was_send in (
+                    (old_send, self._pending_send, True),
+                    (old_recv, self._pending_recv, False),
                 ):
                     for v, q in old_map.items():
                         nv = vertex_map.get(v)
@@ -983,6 +991,7 @@ class CoordinatorEngine:
                                 PortClosedError(
                                     f"vertex {v!r} left the protocol signature"
                                 ),
+                                is_send=was_send,
                             )
                             continue
                         for op in q:
@@ -1058,12 +1067,24 @@ class CoordinatorEngine:
             party.last_active = now if now is not None else time.monotonic()
             party.steps_active = self._steps_approx
 
-    def _fail_queue(self, queue: deque | None, error: Exception | None = None) -> None:
+    def _count_withdrawn(self, vertex: str, is_send: bool) -> None:
+        """Count one submitted-but-never-completed operation (timeout,
+        failed try_* probe, or failure delivery).  Callers hold the owning
+        region's lock (or every lock), matching the submit-side counters."""
+        mx = self._metrics
+        if mx is not None:
+            child = (mx.wd_send if is_send else mx.wd_recv).get(vertex)
+            if child is not None:  # vertex unknown only mid-reconfigure
+                child.value += 1.0
+
+    def _fail_queue(self, queue: deque | None, error: Exception | None = None,
+                    *, is_send: bool) -> None:
         if not queue:
             return
         while queue:
             op = queue.popleft()
             op.error = error or PortClosedError(f"vertex {op.vertex!r} closed")
+            self._count_withdrawn(op.vertex, is_send)
             ev = op.event
             if ev is not None:
                 ev.set()
@@ -1107,6 +1128,7 @@ class CoordinatorEngine:
                 queue.remove(op)
                 if not queue:
                     region.pend.pop(op.vertex, None)
+                self._count_withdrawn(op.vertex, is_send)
                 return False
             finally:
                 region.lock.release()
@@ -1174,9 +1196,10 @@ class CoordinatorEngine:
             return
         if op.error is not None:
             raise op.error
-        self._wait_blocked(queue, op, timeout, deadline)
+        self._wait_blocked(queue, op, timeout, deadline, is_send)
 
-    def _wait_blocked(self, queue: deque, op: _Op, timeout, deadline) -> None:
+    def _wait_blocked(self, queue: deque, op: _Op, timeout, deadline,
+                      is_send: bool = False) -> None:
         """Blocked-submitter loop (no locks held): tick between the op's
         event, the deadline, and the deadlock detector."""
         ev = op.event
@@ -1193,7 +1216,7 @@ class CoordinatorEngine:
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        if self._withdraw_expired(queue, op):
+                        if self._withdraw_expired(queue, op, is_send):
                             raise ProtocolTimeoutError(op.vertex, timeout)
                         continue  # resolved concurrently with the expiry
                     tick = min(tick, remaining)
@@ -1203,7 +1226,7 @@ class CoordinatorEngine:
             with self._lock:
                 self._blocked -= 1
 
-    def _withdraw_expired(self, queue: deque, op: _Op) -> bool:
+    def _withdraw_expired(self, queue: deque, op: _Op, is_send: bool) -> bool:
         """Cancel a timed-out op under its owner region's lock; ``False``
         when a firing or failure resolved it first (the caller's loop then
         observes the resolution)."""
@@ -1220,6 +1243,7 @@ class CoordinatorEngine:
                 pass
             if not queue:
                 region.pend.pop(op.vertex, None)
+            self._count_withdrawn(op.vertex, is_send)
             return True
         finally:
             region.lock.release()
@@ -1287,6 +1311,7 @@ class CoordinatorEngine:
             if op.error is not None:
                 raise op.error
             queue.remove(op)
+            self._count_withdrawn(op.vertex, is_send)
             return False
 
     def _submit_serial(
@@ -1346,6 +1371,8 @@ class CoordinatorEngine:
                                 queue.remove(op)
                             except ValueError:
                                 pass
+                            else:
+                                self._count_withdrawn(op.vertex, is_send)
                             raise ProtocolTimeoutError(op.vertex, timeout)
                         tick = min(tick, remaining)
                     self._cond.wait(tick)
@@ -1500,10 +1527,14 @@ class CoordinatorEngine:
                     if now - self._suspect[1] < grace:
                         return
                 err = self._stuck_error(threshold)
-                for qmap in (self._pending_send, self._pending_recv):
+                for qmap, was_send in (
+                    (self._pending_send, True),
+                    (self._pending_recv, False),
+                ):
                     for q in qmap.values():
                         for op in q:
                             op.error = err
+                            self._count_withdrawn(op.vertex, was_send)
                             ev = op.event
                             if ev is not None:
                                 ev.set()
@@ -1538,10 +1569,15 @@ class CoordinatorEngine:
             if now - self._suspect[1] < grace:
                 return
         err = self._stuck_error(threshold)
-        for q in list(self._pending_send.values()) + list(self._pending_recv.values()):
-            for op in q:
-                op.error = err
-            q.clear()
+        for qmap, was_send in (
+            (self._pending_send, True),
+            (self._pending_recv, False),
+        ):
+            for q in qmap.values():
+                for op in q:
+                    op.error = err
+                    self._count_withdrawn(op.vertex, was_send)
+                q.clear()
         self._suspect = None
         self._cond.notify_all()
 

@@ -35,8 +35,15 @@ Fault kinds (``FaultSpec.kind``):
   before the real send (models an overloading producer; with an overload
   policy installed the surplus must be shed/rejected, without one it must
   only slow things down, never corrupt them).  A no-op on inports.
+* ``"latency_spike"`` — from the ``at_op``-th operation onward, sleep a
+  *seeded random* duration in ``[0, delay]`` before every operation on the
+  port (models network-ish jitter, as opposed to ``"slow_task"``'s constant
+  crawl).  The per-operation draws come from ``random.Random`` seeded with
+  ``(spec.seed, port, at_op)``, so the whole jitter sequence is exactly
+  reproducible in operation order; the drawn delays are recorded on the
+  wrapped port (``.spikes``) for regression assertions.
 
-Like ``"crash_then_recover"``, the two overload kinds are opt-in for
+Like ``"crash_then_recover"``, the overload and jitter kinds are opt-in for
 :meth:`FaultPlan.random` (pass them via ``kinds=``), keeping existing
 seeded schedules stable.
 
@@ -56,20 +63,25 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.util.errors import ReproError
+from repro.runtime.errors import ReproRuntimeError
 
 #: Injectable fault kinds, in the order ``FaultPlan.random`` draws from.
 #: Deliberately unchanged since PR 1: seeded plans built over these four
 #: kinds must keep their exact schedules.
 KINDS = ("delay", "drop", "crash", "close")
 
-#: Every valid ``FaultSpec.kind`` — ``KINDS`` plus the recoverable crash
-#: and the overload kinds, which tests opt into explicitly
-#: (``kinds=("delay", "crash_then_recover", "flood")``).
-ALL_KINDS = KINDS + ("crash_then_recover", "slow_task", "flood")
+#: Every valid ``FaultSpec.kind`` — ``KINDS`` plus the recoverable crash,
+#: the overload kinds, and the jitter kind, which tests opt into explicitly
+#: (``kinds=("delay", "crash_then_recover", "flood", "latency_spike")``).
+ALL_KINDS = KINDS + ("crash_then_recover", "slow_task", "flood",
+                     "latency_spike")
+
+#: The persistent kinds: armed once at their ``at_op``, then affecting
+#: every subsequent operation on the port.
+_PERSISTENT_KINDS = ("slow_task", "latency_spike")
 
 
-class InjectedFault(ReproError):
+class InjectedFault(ReproRuntimeError):
     """Raised inside a task by a ``"crash"`` or ``"crash_then_recover"``
     fault (and nothing else)."""
 
@@ -95,6 +107,8 @@ class FaultSpec:
     delay: float = 0.0
     #: ``"flood"`` only: how many extra copies to send before the real one.
     factor: int = 0
+    #: ``"latency_spike"`` only: seed of the per-operation jitter draws.
+    seed: int = 0
 
     def __post_init__(self):
         if self.kind not in ALL_KINDS:
@@ -105,11 +119,15 @@ class FaultSpec:
             raise ValueError(f"at_op is 1-based, got {self.at_op}")
         if self.kind == "flood" and self.factor < 1:
             raise ValueError("flood needs factor >= 1 (extra copies to send)")
+        if self.kind == "latency_spike" and self.delay <= 0.0:
+            raise ValueError("latency_spike needs delay > 0 (the jitter bound)")
 
     def __str__(self) -> str:
         extra = ""
         if self.kind in ("delay", "slow_task"):
             extra = f" ({self.delay}s)"
+        elif self.kind == "latency_spike":
+            extra = f" (<= {self.delay}s, seed {self.seed})"
         elif self.kind == "flood":
             extra = f" (x{self.factor})"
         return f"{self.kind}@{self.port}#{self.at_op}{extra}"
@@ -155,9 +173,10 @@ class FaultPlan:
                     port=rng.choice(names),
                     at_op=rng.randint(1, max_op),
                     delay=round(rng.uniform(0.001, max_delay), 4)
-                    if kind in ("delay", "slow_task")
+                    if kind in ("delay", "slow_task", "latency_spike")
                     else 0.0,
                     factor=rng.randint(1, 3) if kind == "flood" else 0,
+                    seed=seed if kind == "latency_spike" else 0,
                 )
             )
         return cls(specs, name=f"seed{seed}")
@@ -203,7 +222,11 @@ class _FaultyPort:
         self._port = port
         self._ops = 0
         self._ops_lock = threading.Lock()
-        self._slow: FaultSpec | None = None  # armed "slow_task", if any
+        self._slow: FaultSpec | None = None  # armed persistent kind, if any
+        self._jitter: random.Random | None = None  # "latency_spike" draws
+        #: Jitter delays actually slept (seconds, operation order) — the
+        #: seeded-determinism regression surface for "latency_spike".
+        self.spikes: list[float] = []
 
     def __getattr__(self, attr):
         return getattr(self._port, attr)
@@ -212,17 +235,31 @@ class _FaultyPort:
         with self._ops_lock:
             self._ops += 1
             spec = self._plan._lookup(self._port.name, self._ops)
-            if spec is not None and spec.kind == "slow_task":
-                # Persistent: from this op onward every operation crawls.
-                # Recorded once, at onset; the ongoing slowness is the
-                # watchdog's to notice, not the plan's to re-log.
+            if spec is not None and spec.kind in _PERSISTENT_KINDS:
+                # Persistent: from this op onward every operation crawls
+                # (slow_task) or jitters (latency_spike).  Recorded once, at
+                # onset; the ongoing slowness is the watchdog's to notice,
+                # not the plan's to re-log.
                 if self._slow is None:
                     self._slow = spec
+                    if spec.kind == "latency_spike":
+                        self._jitter = random.Random(
+                            f"{spec.seed}:{spec.port}:{spec.at_op}"
+                        )
                     self._plan._record(spec)
                 spec = None
             slow = self._slow
-        if slow is not None:
-            time.sleep(slow.delay)
+            nap = 0.0
+            if slow is not None:
+                if slow.kind == "latency_spike":
+                    # Drawn under the op lock, so draw i belongs to op i —
+                    # the sequence is deterministic in operation order.
+                    nap = self._jitter.uniform(0.0, slow.delay)
+                    self.spikes.append(nap)
+                else:
+                    nap = slow.delay
+        if nap:
+            time.sleep(nap)
         return spec
 
     def _pre(self, spec: FaultSpec | None) -> str | None:

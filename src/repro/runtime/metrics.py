@@ -103,6 +103,15 @@ CATALOGUE: dict[str, tuple[str, tuple[str, ...], str]] = {
         "Operations completed by a protocol firing (connector) or a "
         "buffer transfer (channel), per boundary vertex and kind.",
     ),
+    "repro_ops_withdrawn_total": (
+        "counter", ("connector", "vertex", "kind"),
+        "Submitted operations that left the pending queue without "
+        "completing: a blocking operation that timed out, a try_* probe "
+        "that could not fire immediately, or a pending operation failed "
+        "by close/crash/deadlock delivery.  Closes the conservation law "
+        "submitted == completed + shed + rejected + withdrawn at every "
+        "instant, not only at quiescence.",
+    ),
     "repro_buffer_occupancy": (
         "gauge", ("connector",),
         "Values currently buffered inside the protocol "
@@ -145,6 +154,22 @@ CATALOGUE: dict[str, tuple[str, tuple[str, ...], str]] = {
         "counter", ("task",),
         "Permanent failures absorbed by re-parametrization (the party "
         "left the protocol instead of poisoning it).",
+    ),
+    # serve/service.py — the multi-tenant coordinator service
+    "repro_serve_sessions": (
+        "gauge", ("tenant", "state"),
+        "Hosted sessions per tenant and lifecycle state "
+        "(sampled at collect time from the service's session table).",
+    ),
+    "repro_serve_admissions_total": (
+        "counter", ("tenant", "outcome"),
+        "Session-admission decisions per tenant: outcome admitted|rejected "
+        "(rejected = tenant quota exhausted).",
+    ),
+    "repro_serve_restarts_total": (
+        "counter", ("session",),
+        "Rolling restarts completed per session (checkpoint -> fresh "
+        "engine -> restore round-trips).",
     ),
 }
 
@@ -399,12 +424,15 @@ class ConnectorMetrics:
             "repro_engine_step_latency_seconds").labels(c)
         self._fam_submitted = registry.counter("repro_ops_submitted_total")
         self._fam_completed = registry.counter("repro_ops_completed_total")
+        self._fam_withdrawn = registry.counter("repro_ops_withdrawn_total")
         self._fam_shed = registry.counter("repro_overload_shed_total")
         self._fam_rejected = registry.counter("repro_overload_rejected_total")
         #: vertex -> Counter, rebuilt by :meth:`attach_engine`.
         self.sub_send: dict[str, Counter] = {}
         self.sub_recv: dict[str, Counter] = {}
         self.done: dict[str, Counter] = {}
+        self.wd_send: dict[str, Counter] = {}
+        self.wd_recv: dict[str, Counter] = {}
         self._shed: dict[tuple[str, str], Counter] = {}
         self._rej: dict[str, Counter] = {}
 
@@ -418,12 +446,16 @@ class ConnectorMetrics:
         self.sub_send = {}
         self.sub_recv = {}
         self.done = {}
+        self.wd_send = {}
+        self.wd_recv = {}
         for v in engine.sources:
             self.sub_send[v] = self._fam_submitted.labels(c, v, "send")
             self.done[v] = self._fam_completed.labels(c, v, "send")
+            self.wd_send[v] = self._fam_withdrawn.labels(c, v, "send")
         for v in engine.sinks:
             self.sub_recv[v] = self._fam_submitted.labels(c, v, "recv")
             self.done[v] = self._fam_completed.labels(c, v, "recv")
+            self.wd_recv[v] = self._fam_withdrawn.labels(c, v, "recv")
 
         def pending_samples():
             # pending_depths() serializes against the firing hot path by

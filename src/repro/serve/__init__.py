@@ -1,0 +1,37 @@
+"""Multi-tenant coordinator service — hosted, supervised protocol sessions.
+
+The runtime layers below this package are *libraries*: a program builds a
+connector, wires its own tasks, and owns the whole lifecycle.  This package
+is the *service* shape of the same machinery (docs/SERVICE.md): a
+:class:`~repro.serve.service.CoordinatorService` hosts many named
+:class:`~repro.serve.session.Session`\\ s — each an independent connector
+plus supervised worker group plus its own metrics registry — behind
+per-tenant admission control (:mod:`repro.serve.admission`), a session
+lifecycle state machine with checkpoint-based rolling restarts
+(:mod:`repro.serve.session`), and an SLO-gated chaos load harness
+(:mod:`repro.serve.loadgen`, ``python -m repro serve --load-test``).
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionError, TenantSpec
+from repro.serve.loadgen import LoadReport, LoadSpec, run_load
+from repro.serve.service import CoordinatorService
+from repro.serve.session import (
+    FarmSession,
+    Session,
+    SessionState,
+    SessionStateError,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "CoordinatorService",
+    "FarmSession",
+    "LoadReport",
+    "LoadSpec",
+    "Session",
+    "SessionState",
+    "SessionStateError",
+    "TenantSpec",
+    "run_load",
+]

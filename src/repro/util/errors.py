@@ -4,6 +4,13 @@ Every exception raised deliberately by :mod:`repro` derives from
 :class:`ReproError`, so callers can catch library failures without catching
 programming errors.  The hierarchy mirrors the pipeline: parsing/scoping →
 compilation → runtime.
+
+The runtime half of the taxonomy shares the :class:`ReproRuntimeError`
+base (PR 7) and is re-exported by :mod:`repro.runtime.errors` — the
+runtime-facing import site the serving layer uses.  The classes are
+*defined* here because :mod:`repro.util` is the dependency-free root every
+other subpackage may import from (see ``repro/util/__init__.py``); both
+module paths resolve to the same class objects.
 """
 
 from __future__ import annotations
@@ -64,7 +71,24 @@ class ConstraintError(ReproError):
     """Raised when a transition's data constraint cannot be planned or solved."""
 
 
-class RuntimeProtocolError(ReproError):
+# --------------------------------------------------------------------------
+# Runtime errors: one catchable hierarchy under ReproRuntimeError.
+# Canonical import site: repro.runtime.errors (docs/INTERNALS.md §5).
+# --------------------------------------------------------------------------
+
+
+class ReproRuntimeError(ReproError):
+    """Common base of every error the runtime raises deliberately.
+
+    The serving layer (:mod:`repro.serve`) catches exactly this: anything
+    else escaping a session body is a bug in the application code, not a
+    protocol failure for supervision to absorb.
+    :class:`~repro.runtime.faults.InjectedFault` also derives from it, so
+    chaos-harness crashes stay inside the same catchable hierarchy.
+    """
+
+
+class RuntimeProtocolError(ReproRuntimeError):
     """Raised on protocol misuse at run time (e.g. port bound twice)."""
 
 

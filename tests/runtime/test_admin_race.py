@@ -1,4 +1,5 @@
-"""Checkpoint/restore vs leave: serialization and typed-error contracts.
+"""Checkpoint/restore vs leave/drain: serialization and typed-error
+contracts.
 
 The connector's admin lock serializes :meth:`checkpoint`, :meth:`restore`
 and :meth:`leave`; a checkpoint observes either the pre-departure or the
@@ -6,8 +7,14 @@ post-departure protocol, never the re-parametrization window in between,
 and a stale checkpoint restored after a departure fails with a *typed*
 :class:`~repro.util.errors.CheckpointError` (boundary-signature mismatch)
 rather than silently resurrecting the departed party's state.
+
+Drain is the other racing admin flow: a drain ends in close, so a
+checkpoint that loses the race must fail with :class:`CheckpointError`
+("connector is draining" / "engine closed") — never hang, never raise an
+untyped error, and never hand back a snapshot of a half-drained protocol.
 """
 
+import random
 import threading
 
 import pytest
@@ -63,6 +70,84 @@ def test_post_departure_checkpoint_restores_cleanly():
         conn.restore(cp)  # must not raise
     finally:
         conn.close()
+
+
+def test_checkpoint_during_drain_raises_typed_error():
+    """The non-racy half of the drain contract: once a drain has begun,
+    checkpoint is refused with the typed draining message."""
+    conn = library.connector("FifoChain", 2, default_timeout=OP_TIMEOUT)
+    outs, ins = mkports(1, 1)
+    conn.connect(outs, ins)
+    try:
+        conn.engine.begin_drain()
+        with pytest.raises(CheckpointError, match="draining"):
+            conn.checkpoint()
+    finally:
+        conn.close()
+
+
+@pytest.mark.fault_stress
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_checkpoint_hammer_vs_drain_serializes_or_raises_typed(seed):
+    """Seeded hammer: checkpoint() racing a full drain-to-close must
+    either win cleanly (a resumable pre-drain snapshot) or lose with a
+    typed :class:`CheckpointError` — no hangs, no other exception types.
+
+    Traffic keeps values buffered so the drain has real flushing to do,
+    and the consumer keeps receiving through it (drain semantics: receives
+    flush, sends are refused)."""
+    rng = random.Random(f"drain-hammer:{seed}")
+    for round_ in range(4):
+        conn = library.connector("FifoChain", 3, default_timeout=OP_TIMEOUT)
+        (out,), (inp,) = mkports(1, 1)
+        conn.connect([out], [inp])
+        # preload buffered values so the drain is not a trivial no-op
+        preloaded = rng.randint(1, 3)
+        for j in range(preloaded):
+            out.send(f"pre{j}", timeout=OP_TIMEOUT)
+
+        got: list = []
+        wins: list = []
+        errors: list = []
+        start = threading.Barrier(3)
+
+        def consumer():
+            start.wait()
+            for _ in range(preloaded):
+                got.append(inp.recv(timeout=OP_TIMEOUT))
+
+        def hammer():
+            start.wait()
+            for _ in range(40):
+                try:
+                    wins.append(conn.checkpoint())
+                except CheckpointError:
+                    pass  # lost the race to the drain (or mid-firing): typed
+                except Exception as exc:  # noqa: BLE001 - the contract
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=consumer),
+                   threading.Thread(target=hammer)]
+        for t in threads:
+            t.start()
+        start.wait()
+        conn.drain(timeout=OP_TIMEOUT)
+        for t in threads:
+            t.join(OP_TIMEOUT + 5)
+            assert not t.is_alive(), f"seed {seed} round {round_}: hang"
+        assert not errors, (
+            f"seed {seed} round {round_}: untyped errors {errors!r}"
+        )
+        assert got == [f"pre{j}" for j in range(preloaded)]
+        # every winning snapshot is a genuine pre-drain protocol state:
+        # resumable into a fresh identical build
+        for cp in wins[-1:]:
+            fresh = library.connector("FifoChain", 3,
+                                      default_timeout=OP_TIMEOUT)
+            fouts, fins = mkports(1, 1)
+            fresh.connect(fouts, fins)
+            fresh.restore(cp)  # must not raise
+            fresh.close()
 
 
 @pytest.mark.fault_stress

@@ -176,9 +176,61 @@ def test_spec_validation():
         "crash_then_recover",
         "slow_task",
         "flood",
+        "latency_spike",
     }
     with pytest.raises(ValueError, match="factor"):
         FaultSpec("flood", "p", 1)  # flood needs factor >= 1
+    with pytest.raises(ValueError, match="jitter bound"):
+        FaultSpec("latency_spike", "p", 1)  # needs delay > 0
+
+
+def test_latency_spike_is_seeded_deterministic():
+    """The whole jitter sequence replays exactly from (seed, port, at_op):
+    two independently wrapped runs of the same plan sleep the identical
+    per-operation delays, a different seed draws a different sequence, and
+    every draw respects the configured bound."""
+    conn_spikes = []
+    for _ in range(2):
+        conn = compile_source("P(a;b) = Sync(a;b)").instantiate_connector(
+            "P", default_timeout=OP_TIMEOUT
+        )
+        outs, ins = mkports(1, 1)
+        conn.connect(outs, ins)
+        outs[0].name = "jitter-out"  # pin: the jitter RNG is keyed on the name
+        plan = FaultPlan(
+            [FaultSpec("latency_spike", outs[0].name, at_op=3,
+                       delay=0.003, seed=11)]
+        )
+        out = plan.wrap(outs[0])
+        for i in range(8):
+            got = []
+            import threading as _t
+            r = _t.Thread(target=lambda: got.append(ins[0].recv()))
+            r.start()
+            out.send(i)
+            r.join(OP_TIMEOUT)
+        conn.close()
+        # armed at op 3 -> ops 3..8 jitter: six draws, all within bound
+        assert len(out.spikes) == 6
+        assert all(0.0 <= d <= 0.003 for d in out.spikes)
+        assert plan.applied_of("latency_spike")  # recorded once, at onset
+        conn_spikes.append(list(out.spikes))
+    assert conn_spikes[0] == conn_spikes[1]
+
+    other = FaultPlan(
+        [FaultSpec("latency_spike", "p", at_op=3, delay=0.003, seed=12)]
+    )
+
+    class _FakePort:
+        name = "p"
+
+        def send(self, value, timeout=None, policy=None):
+            pass
+
+    wrapped = other.wrap(_FakePort())
+    for i in range(8):
+        wrapped.send(i)
+    assert wrapped.spikes != conn_spikes[0]
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,71 @@
+"""The chaos load harness: a small end-to-end run with all four chaos
+kinds, plus the BENCH_serve record/check gate on a temp file."""
+
+import json
+
+import pytest
+
+from repro.serve.loadgen import (
+    DEFAULT_CHAOS,
+    LoadSpec,
+    check,
+    record,
+    run_load,
+)
+
+SMALL = LoadSpec(sessions=4, tenants=2, duration=0.6, overload=2.0,
+                 producers=5, max_pending=3, seed=13)
+
+
+@pytest.mark.fault_stress
+def test_small_run_passes_every_audit():
+    report = run_load(SMALL)
+    assert report.failures == [], report.failures
+    assert report.ok
+    # all four chaos kinds were assigned and actually fired
+    assert {row["chaos"] for row in report.sessions.values()} == set(
+        DEFAULT_CHAOS
+    )
+    for name, row in report.sessions.items():
+        assert row["faults_applied"], f"{name}: plan never fired"
+    # the sustained-overload books: work was shed, and the per-session
+    # conservation law held exactly (no entries in report.violations)
+    assert report.totals["dead_letters"] > 0
+    assert report.violations == []
+    assert report.exactly_once_failures == []
+    assert report.supervisor_failures == []
+    # the rolling restart round-tripped mid-load
+    assert report.restarts_done == 1
+    assert report.sessions["s0"]["restarts"] == 1
+    # admission probe past the quota was refused
+    assert report.admission["rejection_probed"]
+
+
+@pytest.mark.fault_stress
+def test_record_then_check_gate(tmp_path):
+    path = tmp_path / "BENCH_serve.json"
+    report = record(str(path), SMALL)
+    assert report.ok
+    doc = json.loads(path.read_text())
+    assert doc["spec"]["sessions"] == 4
+    assert doc["report"]["ok"] is True
+    assert doc["report"]["p99"] >= 0.0
+    ok, messages, fresh = check(str(path))
+    assert ok, messages
+    assert fresh.ok
+
+
+@pytest.mark.fault_stress
+def test_check_trips_on_impossible_baseline(tmp_path):
+    """A baseline whose spec demands an impossible p99 must fail the
+    gate — the SLO is a gate, not a log line."""
+    path = tmp_path / "BENCH_serve.json"
+    record(str(path), SMALL)
+    doc = json.loads(path.read_text())
+    doc["spec"]["p99_budget"] = 1e-9  # nothing real is this fast
+    doc["report"]["p99"] = 1e-12
+    path.write_text(json.dumps(doc))
+    ok, messages, fresh = check(str(path))
+    assert not ok
+    assert any("p99" in m for m in messages)
+    assert not fresh.ok

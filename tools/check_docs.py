@@ -10,8 +10,8 @@ EXPERIMENTS.md, docs/*.md):
    not fetched (CI has no network guarantee); their syntax is all that is
    checked.
 2. **Executable examples** — every fenced ```python block in
-   docs/OBSERVABILITY.md, plus the block(s) in README.md's
-   "Observability quickstart" section, is run in a subprocess with
+   docs/OBSERVABILITY.md and docs/SERVICE.md, plus the block(s) in
+   README.md's "Observability quickstart" section, is run in a subprocess with
    ``PYTHONPATH=src``; the fenced ```bash blocks in docs/INTERNALS.md
    §10's "Running it" subsection (the ``python -m repro fuzz`` examples)
    run through ``bash -e`` the same way.  Docs that stop working stop
@@ -42,6 +42,7 @@ DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
 #: blocks run; None runs every block in the file.
 EXECUTE = {
     "docs/OBSERVABILITY.md": None,
+    "docs/SERVICE.md": None,
     "README.md": "Observability quickstart",
 }
 
