@@ -28,9 +28,12 @@ Subcommands::
         pair, trace-equivalence oracle, shrink-to-minimal replay files
         (docs/INTERNALS.md §10)
 
-    python -m repro serve [--load-test ...]
-        the multi-tenant coordinator service: a hosted demo, or the
-        SLO-gated chaos load harness (docs/SERVICE.md)
+    python -m repro serve [--load-test ...] [--daemon --state-dir DIR]
+                          [--crash-test ...]
+        the multi-tenant coordinator service: a hosted demo, the
+        SLO-gated chaos load harness (docs/SERVICE.md), the durable
+        JSON-lines daemon, or the kill-9 recovery audit
+        (docs/DURABILITY.md)
 
     python -m repro fig12 / fig13 ...
         the benchmark runners (same flags as python -m repro.bench.fig12/13)

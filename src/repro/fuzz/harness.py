@@ -42,7 +42,12 @@ from repro.runtime.trace import TraceRecorder
 #: configuration inside a :class:`repro.serve.session.Session`: the
 #: lifecycle state machine owns build/checkpoint/restore/close, and the
 #: oracle's exact-equality comparison is the proof that hosting adds no
-#: observable protocol behaviour.
+#: observable protocol behaviour.  ``host="durable"`` routes the schedule's
+#: checkpoint through the on-disk snapshot format of
+#: :mod:`repro.runtime.durable` — save to a temp state dir, recover with a
+#: *fresh* store (a cold start in miniature), restore the recovered
+#: checkpoint — so the trace-equivalence oracle covers the serialization
+#: round-trip too.
 MODES = {
     "global-jit": dict(concurrency="global", composition="jit",
                        use_partitioning=False),
@@ -54,6 +59,8 @@ MODES = {
                         use_partitioning=True),
     "serve-jit": dict(concurrency="regions", composition="jit",
                       use_partitioning=True, host="serve"),
+    "durable": dict(concurrency="regions", composition="jit",
+                    use_partitioning=True, host="durable"),
 }
 
 
@@ -89,6 +96,7 @@ def run_connector_mode(program, script, schedule, mode: str, *,
     in ``RunResult.anomalies``."""
     proto, tails, heads = _protocol(program)
     hosted = MODES[mode].get("host") == "serve"
+    durable_host = MODES[mode].get("host") == "durable"
     opts = connector_opts(mode)
     result = RunResult(mode=mode)
     streams = {v: [] for v in tails + heads}
@@ -161,6 +169,8 @@ def run_connector_mode(program, script, schedule, mode: str, *,
                         _quiet_close(conn)
                         conn, reg = build()
                         try:
+                            if durable_host:
+                                cp = _disk_roundtrip(cp)
                             conn.restore(cp)
                         except Exception as exc:
                             result.anomalies.append(
@@ -312,6 +322,27 @@ def run_all(program, script, schedule, *, inject=None,
     if program.channelable:
         results.append(run_channels(program, script, schedule))
     return results, oracle.compare(results)
+
+
+def _disk_roundtrip(cp):
+    """Checkpoint → on-disk snapshot format → *fresh-store* recovery, the
+    way a cold-started process would read it (the ``durable`` mode's hop at
+    the checkpoint split).  Raises if the round-trip is not the identity —
+    the restore then fails loudly and the oracle flags the mode."""
+    import tempfile
+
+    from repro.runtime.durable import DurableStore
+
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-durable-") as td:
+        store = DurableStore(td).session("fuzz")
+        store.save_snapshot(cp, seq=0)
+        store.close()
+        recovered = DurableStore(td).session("fuzz").recover().checkpoint
+    if recovered != cp:
+        raise AssertionError(
+            "durable snapshot round-trip altered the checkpoint"
+        )
+    return recovered
 
 
 def _quiet_close(conn) -> None:

@@ -23,6 +23,9 @@ Hierarchy::
             ├── DeadlockError
             ├── PortClosedError
             ├── CheckpointError
+            ├── DurabilityError       durable store failures (PR 8)
+            │   ├── SnapshotCorruptError
+            │   └── SchemaVersionError
             ├── ProtocolTimeoutError  (also a TimeoutError)
             ├── OverloadError
             ├── StallError
@@ -38,12 +41,15 @@ from __future__ import annotations
 from repro.util.errors import (
     CheckpointError,
     DeadlockError,
+    DurabilityError,
     OverloadError,
     PeerFailedError,
     PortClosedError,
     ProtocolTimeoutError,
     ReproRuntimeError,
     RuntimeProtocolError,
+    SchemaVersionError,
+    SnapshotCorruptError,
     StallError,
 )
 
@@ -53,6 +59,9 @@ __all__ = [
     "DeadlockError",
     "PortClosedError",
     "CheckpointError",
+    "DurabilityError",
+    "SnapshotCorruptError",
+    "SchemaVersionError",
     "ProtocolTimeoutError",
     "OverloadError",
     "StallError",

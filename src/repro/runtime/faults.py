@@ -349,3 +349,55 @@ def assert_recovered(plan: FaultPlan, records) -> None:
         f"plan {plan.name}: {len(recoverable)} recoverable crashes applied "
         f"but {restarts} restarts happened"
     )
+
+
+# --------------------------------------------------------------------------
+# File-level fault: torn writes against the durable store
+# --------------------------------------------------------------------------
+
+
+def torn_write(path, seed: int) -> dict:
+    """Corrupt the *tail* of one durable-store file, deterministically.
+
+    The port-level kinds above inject faults into a live protocol; this one
+    injects the disk-side failure mode the durable layer
+    (:mod:`repro.runtime.durable`) must survive: a write that was torn by a
+    crash.  Two seeded modes, drawn from ``random.Random(f"torn:{seed}:{n}")``
+    where ``n`` is the file size (so the same seed tears the same file the
+    same way, the determinism the crash harness's replay depends on):
+
+    * ``truncate`` — chop 1..tail-length bytes off the end (a partial
+      final write);
+    * ``bitflip`` — flip one random bit inside the final record's line
+      (silent media corruption; CRC32 catches every single-bit flip).
+
+    Mutates the file in place and returns a report dict
+    (``{"path", "mode", "size", "removed" | "offset"/"bit"}``).  A missing
+    or empty file is a no-op (``mode="skip"``).
+    """
+    import os as _os
+
+    path = str(path)
+    try:
+        size = _os.path.getsize(path)
+    except OSError:
+        return {"path": path, "mode": "skip", "size": 0}
+    if size == 0:
+        return {"path": path, "mode": "skip", "size": 0}
+    with open(path, "r+b") as fh:
+        data = fh.read()
+        rng = random.Random(f"torn:{seed}:{len(data)}")
+        # the last line region: everything after the penultimate newline
+        cut = data[:-1].rfind(b"\n") + 1
+        tail_len = max(1, len(data) - cut)
+        if rng.random() < 0.5:
+            removed = rng.randint(1, tail_len)
+            fh.truncate(len(data) - removed)
+            return {"path": path, "mode": "truncate", "size": size,
+                    "removed": removed}
+        offset = cut + rng.randrange(tail_len)
+        bit = rng.randrange(8)
+        fh.seek(offset)
+        fh.write(bytes([data[offset] ^ (1 << bit)]))
+        return {"path": path, "mode": "bitflip", "size": size,
+                "offset": offset, "bit": bit}

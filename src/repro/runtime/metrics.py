@@ -171,6 +171,38 @@ CATALOGUE: dict[str, tuple[str, tuple[str, ...], str]] = {
         "Rolling restarts completed per session (checkpoint -> fresh "
         "engine -> restore round-trips).",
     ),
+    # runtime/durable.py — durable session state
+    "repro_durable_snapshot_age_seconds": (
+        "gauge", ("session",),
+        "Seconds since the session's newest durable snapshot was "
+        "committed (sampled at collect time; absent until the first "
+        "snapshot).",
+    ),
+    "repro_durable_snapshot_bytes": (
+        "gauge", ("session",),
+        "Size in bytes of the newest durable snapshot generation.",
+    ),
+    "repro_durable_snapshot_duration_seconds": (
+        "histogram", ("session",),
+        "Wall time of each durable snapshot commit (encode + atomic "
+        "write + fsync + retention GC).",
+    ),
+    "repro_durable_journal_records_total": (
+        "counter", ("session", "kind"),
+        "Write-ahead journal records appended, by kind "
+        "(submit|deliver|abort).",
+    ),
+    "repro_durable_journal_lag": (
+        "gauge", ("session",),
+        "Journal records appended since the newest snapshot — the replay "
+        "length a cold start would need (sampled at collect time).",
+    ),
+    "repro_durable_recoveries_total": (
+        "counter", ("session", "outcome"),
+        "Cold-start recoveries by outcome: restored (newest snapshot "
+        "valid), fallback (corrupt generation(s) quarantined, an older "
+        "one restored), fresh (no durable state found).",
+    ),
 }
 
 #: The families both execution models (connector ports and basic channels)

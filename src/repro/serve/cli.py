@@ -16,6 +16,20 @@ Two shapes::
         ``--check`` re-runs a recorded baseline's spec and gates against
         it.  Exit 1 on any failed audit — a conservation violation or an
         unhandled supervisor exception is a red build, not a log line.
+
+Two more, from the durability layer (docs/DURABILITY.md)::
+
+    serve --daemon --state-dir DIR [--checkpoint-interval S]
+        The crash-consistent coordinator daemon: JSON-lines control loop
+        on stdin/stdout, durable sessions under DIR, cold-start recovery
+        on boot (the "ready" line lists recovered sessions).
+
+    serve --crash-test [--state-dir DIR] [--kills K] [--seed S]
+                       [--budget S] [--sessions N] [--out FILE]
+        The kill-9 chaos harness: SIGKILL the daemon at K seeded points
+        (mid-snapshot, mid-journal-append, mid-restore, plus seeded
+        torn-write corruption), restart from DIR each time, and audit
+        zero loss / zero duplication of acknowledged deliveries.
 """
 
 from __future__ import annotations
@@ -56,6 +70,30 @@ def _summarize(report) -> None:
 
 
 def cmd_serve(args) -> int:
+    if args.daemon:
+        from repro.serve.daemon import run_daemon
+
+        if not args.state_dir:
+            print("--daemon requires --state-dir", file=sys.stderr)
+            return 2
+        return run_daemon(args.state_dir,
+                          checkpoint_interval=args.checkpoint_interval,
+                          fsync=args.fsync)
+
+    if args.crash_test:
+        from repro.serve.crashtest import run_crash_test
+
+        report = run_crash_test(
+            args.state_dir, kills=args.kills, seed=args.seed,
+            budget=args.budget, sessions=min(args.sessions, 4),
+            workers=args.workers, out=args.out,
+        )
+        print(json.dumps({k: report[k] for k in
+                          ("seed", "kills", "elapsed", "acked_total",
+                           "unacked_total", "violations", "ok")}, indent=2),
+              file=sys.stderr)
+        return 0 if report["ok"] else 1
+
     if args.check:
         from repro.serve.loadgen import check
 
@@ -135,4 +173,27 @@ def add_subparsers(sub) -> None:
                    help="write the load report JSON (baseline shape)")
     p.add_argument("--check", metavar="FILE",
                    help="re-run a recorded baseline's spec and gate on it")
+    p.add_argument("--daemon", action="store_true",
+                   help="run the JSON-lines coordinator daemon "
+                        "(requires --state-dir)")
+    p.add_argument("--state-dir", metavar="DIR",
+                   help="durable state directory; sessions become "
+                        "crash-consistent (docs/DURABILITY.md)")
+    p.add_argument("--checkpoint-interval", type=float, default=None,
+                   metavar="S",
+                   help="seconds between periodic durable checkpoints "
+                        "(daemon mode; default: off)")
+    p.add_argument("--fsync", action="store_true",
+                   help="fsync every journal append (power-loss "
+                        "durability; SIGKILL safety needs only the "
+                        "default OS-level flush)")
+    p.add_argument("--crash-test", action="store_true",
+                   help="run the kill-9 recovery audit against the "
+                        "daemon in a subprocess")
+    p.add_argument("--kills", type=int, default=10,
+                   help="seeded SIGKILL points for --crash-test "
+                        "(default 10)")
+    p.add_argument("--budget", type=float, default=90.0,
+                   help="wall-clock budget in seconds for --crash-test "
+                        "(default 90)")
     p.set_defaults(fn=cmd_serve)

@@ -21,6 +21,15 @@ session whose delivered count stops moving for ``stall_after`` seconds
 while it still has a backlog (in-flight submits, pending operations, or
 buffered values).  This is the service-level analogue of the task
 watchdog: it catches a *wedged session*, not a wedged task.
+
+With ``state_dir`` set, every session is **durable**
+(:mod:`repro.runtime.durable`): admissions and deliveries are journaled
+write-ahead, :meth:`durable_checkpoint` commits snapshot generations at
+quiescent points, and a *cold* service calls :meth:`recover_sessions` to
+rebuild every session found in the state directory — configuration from
+the snapshot's metadata record, protocol state from the checkpoint, and
+the exactly-once delivery book from snapshot + journal replay.  See
+docs/DURABILITY.md.
 """
 
 from __future__ import annotations
@@ -29,8 +38,10 @@ import threading
 import time
 import zlib
 
+from repro.runtime.durable import DurableStore, SessionDurability
 from repro.runtime.errors import RuntimeProtocolError, StallError
 from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.overload import OverloadPolicy
 from repro.serve.admission import AdmissionController, AdmissionError, TenantSpec
 from repro.serve.session import ADMIN_TIMEOUT, FarmSession, SessionState
 
@@ -59,6 +70,10 @@ class CoordinatorService:
     * ``shards`` — size of the admin worker pool.
     * ``stall_after`` / ``probe_interval`` — arm the per-shard stall
       detector (see :meth:`start`); ``stall_after=None`` leaves it off.
+    * ``state_dir`` — root of the durable store; every session opened on
+      this service becomes crash-consistent.  ``retention``/``fsync``
+      forward to the store; ``auto_checkpoint`` (seconds) arms each
+      session's periodic snapshot thread.
 
     Usable as a context manager: ``with CoordinatorService() as svc: ...``
     starts the maintenance threads (when armed) and closes every session
@@ -73,9 +88,20 @@ class CoordinatorService:
         shards: int = 4,
         stall_after: float | None = None,
         probe_interval: float = 0.05,
+        state_dir=None,
+        retention: int | None = None,
+        fsync: bool = False,
+        auto_checkpoint: float | None = None,
     ):
         if shards < 1:
             raise RuntimeProtocolError("service needs at least one shard")
+        self.durable: DurableStore | None = None
+        if state_dir is not None:
+            kwargs = {"fsync": fsync}
+            if retention is not None:
+                kwargs["retention"] = retention
+            self.durable = DurableStore(state_dir, **kwargs)
+        self.auto_checkpoint = auto_checkpoint
         self.admission = admission if admission is not None else (
             AdmissionController(default=TenantSpec("default", max_sessions=64))
         )
@@ -165,6 +191,9 @@ class CoordinatorService:
                 self._admissions.labels(tenant, "rejected").inc()
                 raise
             self._admissions.labels(tenant, "admitted").inc()
+            durability = None
+            if self.durable is not None:
+                durability = SessionDurability(self.durable.session(name))
             session = FarmSession(
                 name,
                 tenant,
@@ -175,6 +204,8 @@ class CoordinatorService:
                 fault_plan=fault_plan,
                 service_time=service_time,
                 default_timeout=default_timeout,
+                durability=durability,
+                auto_checkpoint=self.auto_checkpoint,
             )
             session.open()
             shard = self._shard_for(session)
@@ -184,6 +215,49 @@ class CoordinatorService:
                 shard.sessions[name] = session
                 shard.marks[name] = (0, time.monotonic())
             return session
+
+    def recover_sessions(self) -> list[str]:
+        """Cold-start recovery: rebuild and open every session with durable
+        state on disk (a no-op without ``state_dir``).
+
+        Each session's configuration — tenant, worker count, overload
+        policy, service time — comes from the metadata record of its
+        newest valid snapshot; the protocol state and exactly-once
+        delivery book come from :meth:`FarmSession.open`'s recovery path.
+        Returns the recovered session names (sorted).  Sessions already
+        open under the same name are skipped (recovery is idempotent)."""
+        if self.durable is None:
+            return []
+        recovered = []
+        for name in self.durable.sessions():
+            with self._table_lock:
+                if name in self._sessions:
+                    continue
+            meta = self.durable.session(name).peek_meta()
+            if not meta:
+                continue  # directory without a loadable snapshot
+            policy = None
+            if meta.get("policy"):
+                policy = OverloadPolicy(**meta["policy"])
+            self.open_session(
+                name,
+                meta.get("tenant", "default"),
+                workers=meta.get("workers"),
+                policy=policy,
+                service_time=meta.get("service_time", 0.0),
+                default_timeout=meta.get("default_timeout", ADMIN_TIMEOUT),
+            )
+            recovered.append(name)
+        return sorted(recovered)
+
+    def durable_checkpoint(self, name: str, timeout: float = ADMIN_TIMEOUT):
+        """Commit one durable snapshot generation for ``name`` under its
+        shard's admin lock; returns the checkpoint."""
+        session, shard = self._lookup(name)
+        with shard.lock:
+            cp = session.durable_checkpoint(timeout=timeout)
+            shard.marks[name] = (len(session.delivered), time.monotonic())
+        return cp
 
     def session(self, name: str) -> FarmSession:
         return self._lookup(name)[0]
@@ -250,6 +324,9 @@ class CoordinatorService:
                 "restarts": s.restarts,
                 "delivered": len(s.delivered),
                 "dead_letters": len(s.dead_letters()),
+                "backlog": (
+                    s.backlog() if s.state is SessionState.RUNNING else 0
+                ),
             }
             for name, s in items
         }

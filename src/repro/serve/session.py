@@ -58,6 +58,7 @@ from typing import Callable
 from repro.connectors import library
 from repro.runtime.errors import (
     CheckpointError,
+    DurabilityError,
     OverloadError,
     PortClosedError,
     ProtocolTimeoutError,
@@ -227,6 +228,18 @@ class FarmSession(Session):
       ``<name>:w<k>``) so plans target sessions stably across rebuilds.
     * ``service_time`` — per-delivery worker sleep, modelling bounded
       capacity (what makes overload *real* in the load harness).
+    * ``durability`` — a :class:`~repro.runtime.durable.SessionDurability`
+      making the session crash-consistent (docs/DURABILITY.md): every
+      admission intent and acknowledged delivery is journaled write-ahead,
+      :meth:`durable_checkpoint` commits snapshot generations at the same
+      gate-and-park quiescent points the rolling restart uses, and
+      :meth:`open` transparently performs cold-start recovery when the
+      state directory holds a previous incarnation's state.
+    * ``auto_checkpoint`` — seconds between periodic durable checkpoints
+      (a background thread; needs ``durability``).  A tick that loses the
+      quiescence race (or hits a transient disk failure) is skipped, not
+      fatal — the journal still bounds the loss window at zero for
+      acknowledged work.
 
     Delivered values accumulate in :attr:`delivered` (order of delivery);
     dead letters survive generation swaps via :meth:`dead_letters`.
@@ -244,6 +257,8 @@ class FarmSession(Session):
         fault_plan=None,
         service_time: float = 0.0,
         default_timeout: float = ADMIN_TIMEOUT,
+        durability=None,
+        auto_checkpoint: float | None = None,
     ):
         super().__init__(name, tenant, factory=self._build)
         if workers < 1:
@@ -257,6 +272,10 @@ class FarmSession(Session):
         self.fault_plan = fault_plan
         self.service_time = service_time
         self.default_timeout = default_timeout
+        self.durability = durability
+        self.auto_checkpoint = auto_checkpoint
+        self._auto_thread: threading.Thread | None = None
+        self._auto_stop = threading.Event()
 
         self.delivered: list = []
         self._delivered_lock = threading.Lock()
@@ -300,8 +319,46 @@ class FarmSession(Session):
         self._worker_ins = ins
         return conn
 
+    def _durable_meta(self) -> dict:
+        """The session configuration a cold service needs to rebuild this
+        session from its snapshot alone (``recover_sessions``)."""
+        policy = None
+        if self.policy is not None:
+            policy = {
+                "kind": self.policy.kind,
+                "max_pending": self.policy.max_pending,
+                "dead_letter_capacity": self.policy.dead_letter_capacity,
+            }
+        return {
+            "tenant": self.tenant,
+            "workers": self.workers,
+            "service_time": self.service_time,
+            "default_timeout": self.default_timeout,
+            "policy": policy,
+        }
+
     def open(self) -> "FarmSession":
+        recovery = None
+        if self.durability is not None:
+            self.durability.bind(self.registry)
+            recovery = self.durability.recover()
         super().open()
+        resubmits: list = []
+        if recovery is not None:
+            # Cold start: reset the fresh engine to the snapshot state and
+            # replay the acknowledged book into the visible delivery log.
+            self.connector.restore(recovery.checkpoint)
+            with self._delivered_lock:
+                self.delivered.extend(self.durability.delivered_values())
+        if self.durability is not None:
+            # Commit a fresh generation *before* serving (and before the
+            # re-injections below), so a second crash replays against a
+            # snapshot that already carries the remaining suppress/resubmit
+            # state — recovery is idempotent under repeated crashes.
+            self.durability.commit(
+                self.connector.checkpoint(self.name), self._durable_meta()
+            )
+            resubmits = self.durability.pop_resubmits()
         from repro.runtime.tasks import SupervisedTaskGroup
 
         self._group = SupervisedTaskGroup(restart_policy=self.restart_policy,
@@ -314,7 +371,32 @@ class FarmSession(Session):
                               name=f"{self.name}:worker{rank}")
         self._gate.set()
         self._intake_open.set()
+        for value in resubmits:
+            # Admitted before the crash but absent from both the restored
+            # engine and the delivery book: re-offer through the raw intake.
+            # Deliberately *not* re-journaled — the committed snapshot above
+            # already carries these in its resubmit set, so a crash here
+            # just re-derives the same re-injections.
+            self._intake.send(value, timeout=self.default_timeout)
+        if self.auto_checkpoint and self.durability is not None:
+            self._auto_stop.clear()
+            self._auto_thread = threading.Thread(
+                target=self._auto_checkpoint_loop,
+                name=f"{self.name}:auto-checkpoint", daemon=True,
+            )
+            self._auto_thread.start()
         return self
+
+    def _auto_checkpoint_loop(self) -> None:
+        while not self._auto_stop.wait(self.auto_checkpoint):
+            if self._closing:
+                return
+            try:
+                self.durable_checkpoint()
+            except ReproRuntimeError:
+                # Lost the quiescence race (admin op in flight, close under
+                # way) or a transient durability failure: skip this tick.
+                continue
 
     # -- the worker pool ----------------------------------------------------
 
@@ -340,6 +422,12 @@ class FarmSession(Session):
                 if self._closing:
                     return
                 time.sleep(RECV_TICK)  # generation swap in progress
+                continue
+            if self.durability is not None \
+                    and not self.durability.on_delivered(value):
+                # A suppressed re-emission: this value's delivery was
+                # acknowledged before the crash, the restored engine just
+                # replayed it.  Exactly-once means it must not surface twice.
                 continue
             with self._delivered_lock:
                 self.delivered.append(value)
@@ -378,12 +466,24 @@ class FarmSession(Session):
                 )
             self._intake_open.wait(timeout=RECV_TICK)
         try:
-            self._intake.send(value, timeout=timeout)
-            return "ok"
-        except OverloadError:
-            return "rejected"
-        except ProtocolTimeoutError:
-            return "timeout"
+            # Write-ahead: the admission intent hits the journal before the
+            # engine sees the value, so an acknowledged "ok" always has a
+            # durable record.  A rejected/timed-out offer never entered
+            # protocol state, so its intent is compensated with an abort.
+            seq = None
+            if self.durability is not None:
+                seq = self.durability.on_submit(value)
+            try:
+                self._intake.send(value, timeout=timeout)
+                return "ok"
+            except OverloadError:
+                if seq is not None:
+                    self.durability.on_abort(seq, value)
+                return "rejected"
+            except ProtocolTimeoutError:
+                if seq is not None:
+                    self.durability.on_abort(seq, value)
+                return "timeout"
         finally:
             with self._inflight_lock:
                 self._inflight -= 1
@@ -446,6 +546,50 @@ class FarmSession(Session):
         self._gate.set()
         self._intake_open.set()
 
+    # -- durable checkpoint --------------------------------------------------
+
+    def durable_checkpoint(self, timeout: float = ADMIN_TIMEOUT):
+        """Commit one durable snapshot generation at a quiescent point.
+
+        Same gate-and-park protocol as :meth:`rolling_restart`, but the
+        engine survives: pause the intake, park the workers, checkpoint,
+        **commit while still parked** (committing after resume would let an
+        interleaved delivery advance the journal past the checkpoint's
+        engine state — the snapshot's book must be consistent with its
+        checkpoint), then resume.  A :class:`DurabilityError` from the
+        commit is re-raised *after* the session resumes serving — a full
+        disk degrades durability, it does not wedge the farm.
+
+        Returns the committed checkpoint."""
+        if self.durability is None:
+            raise RuntimeProtocolError(
+                f"session {self.name!r} has no durability "
+                "(open the service with --state-dir)"
+            )
+        deadline = time.monotonic() + timeout
+        self._transition(SessionState.DRAINING)
+        commit_error: DurabilityError | None = None
+        try:
+            self._pause_intake(deadline)
+            self._park_workers(deadline)
+            cp = self.connector.checkpoint(self.name)
+            try:
+                self.durability.commit(cp, self._durable_meta())
+            except DurabilityError as exc:
+                commit_error = exc
+        except BaseException:
+            self._transition(SessionState.RUNNING)
+            self._resume()
+            raise
+        self.checkpoints.append(cp)
+        self._transition(SessionState.CHECKPOINTED)
+        self._transition(SessionState.RESTORING)
+        self._transition(SessionState.RUNNING)
+        self._resume()
+        if commit_error is not None:
+            raise commit_error
+        return cp
+
     # -- rolling restart ----------------------------------------------------
 
     def rolling_restart(self, new_workers: int | None = None,
@@ -485,6 +629,11 @@ class FarmSession(Session):
                 for contents in report.dropped_buffers.values():
                     self.dropped.extend(contents)
             cp = self.connector.checkpoint(self.name)
+            if self.durability is not None:
+                # Same rule as durable_checkpoint: commit while parked so
+                # the snapshot's delivery book matches the engine state the
+                # restore below will resurrect.
+                self.durability.commit(cp, self._durable_meta())
         except BaseException:
             self._transition(SessionState.RUNNING)
             self._resume()
@@ -520,6 +669,10 @@ class FarmSession(Session):
             self._shutdown(drain=True, drain_timeout=drain_timeout)
 
     def _shutdown(self, drain: bool, drain_timeout: float = ADMIN_TIMEOUT):
+        self._auto_stop.set()
+        if self._auto_thread is not None:
+            self._auto_thread.join(timeout=drain_timeout)
+            self._auto_thread = None
         self._intake_open.clear()
         deadline = time.monotonic() + drain_timeout
         try:
@@ -546,6 +699,8 @@ class FarmSession(Session):
                     record.join(drain_timeout)
                 except (ReproRuntimeError, TimeoutError):
                     pass
+        if self.durability is not None:
+            self.durability.close()
 
 
 def _quiet_close(conn) -> None:

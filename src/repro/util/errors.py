@@ -122,6 +122,44 @@ class CheckpointError(RuntimeProtocolError):
     """
 
 
+class DurabilityError(RuntimeProtocolError):
+    """Raised when durable session state cannot be written or recovered.
+
+    The durable store (:mod:`repro.runtime.durable`) keeps every session's
+    checkpoints and write-ahead delivery journal on disk.  This error (and
+    its subclasses) covers the failures of that layer: an unreadable state
+    directory, a snapshot whose every generation is corrupt, a journal that
+    cannot be appended to.  A *torn tail* on the newest journal is not an
+    error — it is the expected signature of a crash mid-append and is
+    silently truncated during recovery.
+    """
+
+
+class SnapshotCorruptError(DurabilityError):
+    """A snapshot file failed its integrity checks: bad magic, a CRC32
+    mismatch, undecodable record framing, or a missing end-of-snapshot
+    trailer (a torn write).  Recovery quarantines the file (renames it with
+    a ``.corrupt`` suffix) and falls back to the previous generation."""
+
+
+class SchemaVersionError(DurabilityError):
+    """A durable file declares a schema version this build does not know.
+
+    Deliberately *not* treated as corruption: the file is intact but from
+    the future, so recovery refuses to guess at its layout (and refuses to
+    quarantine it) instead of mis-restoring protocol state.
+    """
+
+    def __init__(self, path: str, version: object, supported: int):
+        self.path = path
+        self.version = version
+        self.supported = supported
+        super().__init__(
+            f"{path}: schema version {version!r} is not supported "
+            f"(this build reads version <= {supported})"
+        )
+
+
 class ProtocolTimeoutError(RuntimeProtocolError, TimeoutError):
     """Raised when a blocking send/recv exceeds its timeout.
 

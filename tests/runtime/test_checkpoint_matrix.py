@@ -8,6 +8,10 @@ be trace-equivalent (same fired labels and deliveries, via
 :mod:`repro.runtime.trace`), observe the same values at the boundary, and
 end in identical protocol states.
 
+The snapshot additionally takes a trip through the durable on-disk format
+(:mod:`repro.runtime.durable`) before the restore, so every connector state
+in the matrix doubles as a golden test of the v1 snapshot encoding.
+
 Phase B workloads are designed to be deterministic: operations are either
 sequenced (one at a time) or forced (only one transition enabled), and the
 engines' captured round-robin cursors make the remaining choices identical
@@ -19,6 +23,8 @@ import time
 import pytest
 
 from repro.connectors import library
+from repro.runtime.durable import SessionStore, checkpoint_to_data
+from repro.runtime.errors import SchemaVersionError
 from repro.runtime.ports import mkports
 from repro.runtime.tasks import TaskGroup
 from repro.runtime.trace import TraceRecorder
@@ -180,15 +186,36 @@ def make(name, n, tracer):
     return conn, outs, ins
 
 
+def durable_hop(cp, tmp_path, tag):
+    """Round-trip a checkpoint through the on-disk v1 snapshot format.
+
+    The recovered checkpoint must be *identical* — same dataclass content,
+    tuples still tuples — so the matrix's restore below exercises the
+    decoded copy, not the in-memory original.
+    """
+    store = SessionStore(tmp_path, f"golden-{tag}")
+    try:
+        store.save_snapshot(cp, seq=0)
+        rec = store.recover()
+    finally:
+        store.close()
+    assert rec.outcome == "restored", tag
+    got = rec.checkpoint
+    assert checkpoint_to_data(got) == checkpoint_to_data(cp), tag
+    assert got.buffers == cp.buffers and got.steps == cp.steps, tag
+    assert got.regions == cp.regions and got.parties == cp.parties, tag
+    return got
+
+
 @pytest.mark.parametrize("n", ARITIES)
 @pytest.mark.parametrize("name", library.names())
-def test_checkpoint_roundtrip(name, n):
+def test_checkpoint_roundtrip(name, n, tmp_path):
     phase_a, phase_b = workload(name, n)
 
     tracer1 = TraceRecorder()
     c1, outs1, ins1 = make(name, n, tracer1)
     run_phase(c1, outs1, ins1, phase_a)
-    cp = c1.checkpoint()
+    cp = durable_hop(c1.checkpoint(), tmp_path, f"{name}-{n}")
     mark = len(tracer1.events)
     obs1 = run_phase(c1, outs1, ins1, phase_b)
     events1 = tracer1.events[mark:]
@@ -212,3 +239,35 @@ def test_checkpoint_roundtrip(name, n):
     assert end1.buffers == end2.buffers, (name, n)
     assert end1.steps == end2.steps, (name, n)
     assert end1.regions == end2.regions, (name, n)
+
+
+def test_snapshot_forward_compat(tmp_path):
+    """A snapshot written by a *newer* schema raises the typed error and is
+    left in place — an old binary must refuse, not quarantine, state it
+    merely does not understand yet."""
+    from repro.runtime.durable import SCHEMA_VERSION, _frame, _unframe
+
+    conn = library.connector("Merger", 2, default_timeout=OP_TIMEOUT)
+    outs, ins = mkports(len(conn.tail_vertices), len(conn.head_vertices))
+    conn.connect(outs, ins)
+    cp = conn.checkpoint()
+    conn.close()
+
+    store = SessionStore(tmp_path, "future")
+    try:
+        gen, _ = store.save_snapshot(cp, seq=0)
+        path = store.dir / f"snapshot-{gen:08d}.ckpt"
+        lines = path.read_bytes().splitlines(keepends=True)
+        header = _unframe(lines[0])
+        header["version"] = SCHEMA_VERSION + 1
+        path.write_bytes(_frame(header) + b"".join(lines[1:]))
+
+        with pytest.raises(SchemaVersionError) as exc:
+            store.recover()
+        assert exc.value.version == SCHEMA_VERSION + 1
+        assert exc.value.supported == SCHEMA_VERSION
+        # refused, not quarantined: the file survives for a newer binary
+        assert path.exists()
+        assert not list(store.dir.glob("*.corrupt"))
+    finally:
+        store.close()

@@ -1,0 +1,430 @@
+"""Unit tests for the durable session store (:mod:`repro.runtime.durable`).
+
+The scenarios here are the store-level half of the durability contract:
+codec fidelity, atomic snapshot commits, quarantine-and-fallback on
+corruption, write-ahead journal replay, torn-tail tolerance, retention GC,
+and the :class:`SessionDurability` hot-path hooks with their metric
+families.  The process-level half — real ``SIGKILL`` at seeded points —
+lives in ``repro.serve.crashtest`` (CI's crash-recovery-smoke job).
+"""
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro.connectors import library
+from repro.runtime.durable import (
+    DurableStore,
+    SessionDurability,
+    SessionStore,
+    canon,
+    checkpoint_to_data,
+    decode,
+    encode,
+)
+from repro.runtime.errors import (
+    DurabilityError,
+    SchemaVersionError,
+    SnapshotCorruptError,
+)
+from repro.runtime.faults import torn_write
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.ports import Inport, Outport
+
+OP_TIMEOUT = 10.0
+
+
+def make_checkpoint(name="Merger", n=2):
+    conn = library.connector(name, n, default_timeout=OP_TIMEOUT)
+    conn.connect(
+        [Outport(f"t:o{i}") for i in range(len(conn.tail_vertices))],
+        [Inport(f"t:i{i}") for i in range(len(conn.head_vertices))],
+    )
+    cp = conn.checkpoint()
+    conn.close()
+    return cp
+
+
+# -- codec ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("value", [
+    None,
+    42,
+    -1.5,
+    "plain",
+    True,
+    [1, "two", None],
+    (1, 2, 3),
+    ((1, "a"), (2, "b")),
+    {"k": "v", "nested": {"t": (1, 2)}},
+    {1: "int-key", (2, 3): "tuple-key"},
+    {"%t": "tag-collision", "%m": [1], "%p": None},
+    [({"x": (1,)}, [2, (3,)])],
+])
+def test_codec_roundtrip(value):
+    out = decode(encode(value))
+    assert out == value
+    assert type(out) is type(value)
+
+
+def test_codec_pickle_fallback():
+    value = {"s": {1, 2, 3}, "b": b"\x00\xff"}
+    assert decode(encode(value)) == value
+
+
+def test_canon_distinguishes_tuple_from_list():
+    assert canon((1, 2)) != canon([1, 2])
+    assert canon((1, 2)) == canon((1, 2))
+    assert canon({"a": 1, "b": 2}) == canon({"b": 2, "a": 1})
+
+
+# -- snapshots --------------------------------------------------------------
+
+
+def test_snapshot_roundtrip(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    try:
+        gen, nbytes = store.save_snapshot(
+            cp, seq=7,
+            delivered=[(1, "a"), (2, ("t", 1))],
+            suppress=["x", "x"],
+            resubmit=[("r", 0)],
+            meta={"tenant": "t0", "workers": 2},
+        )
+        assert gen == 1 and nbytes > 0
+        rec = store.recover()
+    finally:
+        store.close()
+    assert rec.outcome == "restored"
+    assert rec.generation == 1
+    assert checkpoint_to_data(rec.checkpoint) == checkpoint_to_data(cp)
+    assert rec.delivered == [(1, "a"), (2, ("t", 1))]
+    assert rec.suppress == Counter({canon("x"): 2})
+    assert rec.resubmit == [("r", 0)]
+    assert rec.seq == 7
+    assert rec.meta == {"tenant": "t0", "workers": 2}
+    assert not rec.torn and not rec.quarantined
+
+
+def test_fresh_directory_recovers_fresh(tmp_path):
+    store = SessionStore(tmp_path, "empty")
+    rec = store.recover()
+    assert rec.outcome == "fresh"
+    assert rec.checkpoint is None and rec.seq == 0
+
+
+def test_retention_must_allow_fallback(tmp_path):
+    with pytest.raises(DurabilityError):
+        SessionStore(tmp_path, "s0", retention=1)
+
+
+def test_corrupt_newest_falls_back_and_quarantines(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    try:
+        store.save_snapshot(cp, seq=1, delivered=[(1, "old")])
+        gen2, _ = store.save_snapshot(cp, seq=2, delivered=[(1, "old"),
+                                                            (2, "new")])
+        path = store._snapshot_path(gen2)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        path.write_bytes(bytes(data))
+
+        rec = store.recover()
+    finally:
+        store.close()
+    assert rec.outcome == "fallback"
+    assert rec.generation == 1
+    assert rec.delivered == [(1, "old")]
+    assert len(rec.quarantined) == 1
+    corrupt = list(store.dir.glob("*.corrupt"))
+    assert [p.name for p in corrupt] == [f"snapshot-{gen2:08d}.ckpt.corrupt"]
+
+
+def test_all_generations_corrupt_is_a_typed_error(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    try:
+        for seq in (1, 2):
+            gen, _ = store.save_snapshot(cp, seq=seq)
+            path = store._snapshot_path(gen)
+            path.write_bytes(b"garbage, not a framed record\n")
+        with pytest.raises(DurabilityError) as exc:
+            store.recover()
+    finally:
+        store.close()
+    assert "every snapshot generation is corrupt" in str(exc.value)
+
+
+def test_truncated_snapshot_is_corrupt(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    try:
+        gen, _ = store.save_snapshot(cp, seq=1)
+        path = store._snapshot_path(gen)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) - len(data.splitlines()[-1]) - 1])
+        with pytest.raises(SnapshotCorruptError):
+            store.load_snapshot(gen)
+    finally:
+        store.close()
+
+
+def test_quarantined_generation_number_is_never_reused(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    try:
+        store.save_snapshot(cp, seq=1)
+        gen2, _ = store.save_snapshot(cp, seq=2)
+        store._snapshot_path(gen2).write_bytes(b"junk\n")
+        store.recover()  # quarantines gen2
+        gen3, _ = store.save_snapshot(cp, seq=3)
+    finally:
+        store.close()
+    assert gen3 == gen2 + 1
+
+
+# -- journal ----------------------------------------------------------------
+
+
+def test_journal_replay_algebra(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    try:
+        store.save_snapshot(cp, seq=0)
+        store.append("submit", 1, "a")     # delivered below
+        store.append("deliver", 2, "a")
+        store.append("submit", 3, "b")     # aborted
+        store.append("abort", 3, "b")
+        store.append("submit", 4, "c")     # admitted, never delivered
+        rec = store.recover()
+    finally:
+        store.close()
+    assert rec.delivered == [(2, "a")]
+    assert rec.resubmit == ["c"]
+    assert rec.suppress == Counter()
+    assert rec.seq == 4
+
+
+def test_journal_deliver_without_matching_submit_suppresses(tmp_path):
+    # A deliver whose value sits in the restored engine (no post-snapshot
+    # admission): the re-emission must be swallowed, not re-acknowledged.
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    try:
+        store.save_snapshot(cp, seq=0)
+        store.append("deliver", 1, ("v", 0))
+        rec = store.recover()
+    finally:
+        store.close()
+    assert rec.delivered == [(1, ("v", 0))]
+    assert rec.suppress == Counter({canon(("v", 0)): 1})
+    assert rec.suppress_values[canon(("v", 0))] == ("v", 0)
+    assert rec.resubmit == []
+
+
+def test_torn_journal_tail_is_dropped(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    try:
+        gen, _ = store.save_snapshot(cp, seq=0)
+        store.append("deliver", 1, "kept")
+        store.append("deliver", 2, "torn-away")
+        store.close()
+        path = store._journal_path(gen)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])  # tear mid-record
+        rec = store.recover()
+    finally:
+        store.close()
+    assert rec.torn
+    assert rec.delivered == [(1, "kept")]
+    # the surviving deliver had no post-snapshot admission: its value sits
+    # in the restored engine and must be suppressed on re-emission; the
+    # torn record vanished entirely
+    assert rec.suppress == Counter({canon("kept"): 1})
+    assert canon("torn-away") not in rec.suppress
+
+
+def test_missing_journal_is_empty(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    try:
+        gen, _ = store.save_snapshot(cp, seq=0)
+        store.close()
+        os.unlink(store._journal_path(gen))
+        rec = store.recover()
+    finally:
+        store.close()
+    assert rec.outcome == "restored" and not rec.torn
+
+
+def test_append_requires_open_journal(tmp_path):
+    store = SessionStore(tmp_path, "s0")
+    with pytest.raises(DurabilityError):
+        store.append("submit", 1, "v")
+    with pytest.raises(DurabilityError):
+        store.save_snapshot(make_checkpoint(), seq=0)
+        store.append("frobnicate", 2, "v")
+    store.close()
+
+
+# -- retention GC -----------------------------------------------------------
+
+
+def test_gc_keeps_retention_generations(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0", retention=3)
+    try:
+        for seq in range(6):
+            store.save_snapshot(cp, seq=seq)
+        gens = store.generations()
+        journals = store._journal_generations()
+    finally:
+        store.close()
+    assert gens == [4, 5, 6]
+    # journals at/after the oldest kept snapshot survive for replay
+    assert journals == [4, 5, 6]
+
+
+# -- DurableStore root ------------------------------------------------------
+
+
+def test_durable_store_session_names_roundtrip(tmp_path):
+    root = DurableStore(tmp_path)
+    cp = make_checkpoint()
+    for name in ("plain", "ten@nt/sess ion"):
+        s = root.session(name)
+        s.save_snapshot(cp, seq=0)
+        s.close()
+    assert root.sessions() == ["plain", "ten@nt/sess ion"]
+
+
+# -- SessionDurability ------------------------------------------------------
+
+
+def test_session_durability_write_ahead_cycle(tmp_path):
+    cp = make_checkpoint()
+    reg = MetricsRegistry()
+    d = SessionDurability(SessionStore(tmp_path, "s0"))
+    d.bind(reg)
+    try:
+        assert d.recover() is None  # fresh
+        d.commit(cp, {"tenant": "t0"})
+
+        s1 = d.on_submit("a")
+        assert d.on_delivered("a") is True
+        s2 = d.on_submit("b")
+        d.on_abort(s2, "b")
+        assert s2 == s1 + 2  # deliver consumed a sequence number in between
+        assert d.book() == [(s1 + 1, "a")]
+        assert d.delivered_values() == ["a"]
+
+        counts = dict(reg.counter(
+            "repro_durable_journal_records_total").samples())
+        assert counts[("s0", "submit")] == 2
+        assert counts[("s0", "deliver")] == 1
+        assert counts[("s0", "abort")] == 1
+        lag = dict(reg.gauge("repro_durable_journal_lag").samples())
+        assert lag[("s0",)] == 4
+    finally:
+        d.close()
+
+    # cold start no. 2: the book survives, the aborted intent does not
+    d2 = SessionDurability(SessionStore(tmp_path, "s0"))
+    try:
+        rec = d2.recover()
+        assert rec.outcome == "restored"
+        assert d2.delivered_values() == ["a"]
+        assert d2.pop_resubmits() == []
+    finally:
+        d2.close()
+
+
+def test_session_durability_suppress_consumed_once(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    store.save_snapshot(cp, seq=0, suppress=["v"])
+    store.close()
+
+    d = SessionDurability(SessionStore(tmp_path, "s0"))
+    try:
+        rec = d.recover()
+        assert rec.suppress == Counter({canon("v"): 1})
+        d.commit(cp)
+        assert d.on_delivered("v") is False  # the re-emission: swallowed
+        assert d.on_delivered("v") is True   # a fresh copy: acknowledged
+        assert d.delivered_values() == ["v"]
+    finally:
+        d.close()
+
+
+def test_session_durability_recovery_metrics(tmp_path):
+    cp = make_checkpoint()
+    store = SessionStore(tmp_path, "s0")
+    store.save_snapshot(cp, seq=0)
+    store.close()
+
+    reg = MetricsRegistry()
+    d = SessionDurability(SessionStore(tmp_path, "s0"))
+    d.bind(reg)
+    try:
+        d.recover()
+        d.commit(cp)
+        outcomes = dict(reg.counter(
+            "repro_durable_recoveries_total").samples())
+        assert outcomes[("s0", "restored")] == 1
+        nbytes = dict(reg.gauge("repro_durable_snapshot_bytes").samples())
+        assert nbytes[("s0",)] > 0
+        age = dict(reg.gauge("repro_durable_snapshot_age_seconds").samples())
+        assert age[("s0",)] >= 0.0
+    finally:
+        d.close()
+
+
+# -- torn_write fault -------------------------------------------------------
+
+
+def test_torn_write_is_deterministic(tmp_path):
+    content = b"".join(b"%08d some-record-payload\n" % i for i in range(20))
+    a, b = tmp_path / "a", tmp_path / "b"
+    a.write_bytes(content)
+    b.write_bytes(content)
+    ra = torn_write(a, 1234)
+    rb = torn_write(b, 1234)
+    assert a.read_bytes() == b.read_bytes()
+    assert {k: v for k, v in ra.items() if k != "path"} \
+        == {k: v for k, v in rb.items() if k != "path"}
+    assert ra["mode"] in ("truncate", "bitflip")
+    assert a.read_bytes() != content
+
+
+def test_torn_write_varies_with_seed(tmp_path):
+    content = b"".join(b"%08d some-record-payload\n" % i for i in range(20))
+    outs = set()
+    for seed in range(8):
+        p = tmp_path / f"f{seed}"
+        p.write_bytes(content)
+        torn_write(p, seed)
+        outs.add(p.read_bytes())
+    assert len(outs) > 1
+
+
+def test_torn_write_only_damages_the_tail_record(tmp_path):
+    content = b"".join(b"%08d record-%d\n" % (i, i) for i in range(10))
+    prefix = content[:content[:-1].rfind(b"\n") + 1]
+    for seed in range(8):  # cover both truncate and bitflip modes
+        p = tmp_path / f"f{seed}"
+        p.write_bytes(content)
+        report = torn_write(p, seed)
+        got = p.read_bytes()
+        # every record but the last is byte-identical
+        assert got[:len(prefix)] == prefix, report
+        assert got != content, report
+
+
+def test_torn_write_missing_file_skips(tmp_path):
+    assert torn_write(tmp_path / "nope", 0)["mode"] == "skip"
