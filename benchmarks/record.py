@@ -37,6 +37,11 @@ DEFAULT_OUT = ROOT / "BENCH_engine.json"
 #: bench-smoke fails when single-region ns/step exceeds baseline × this.
 REGRESSION_BUDGET = 1.25
 
+#: bench-smoke fails when the compiled step tier's geomean speedup over the
+#: interpreter on the Fig. 12 firing-cost sweep drops below this (the
+#: compiled tier's reason to exist; see docs/COMPILER.md).
+STEP_SPEEDUP_FLOOR = 5.0
+
 FIG12_CONNECTORS = ("Replicator", "EarlyAsyncMerger", "Sequencer",
                     "SequencedMerger")
 FIG12_NS = (2, 8)
@@ -97,6 +102,17 @@ def record_fig12(window_s, repeats):
     return rows
 
 
+def record_fig12_steps(backlog, repeats):
+    """Two-tier firing-cost sweep (interpretive vs compiled step functions)
+    over the Fig. 12 connectors; see benchmarks/bench_compiled_steps.py for
+    the staged-drain methodology."""
+    from bench_compiled_steps import geomean_speedup, sweep
+
+    rows = sweep(backlog=backlog, repeats=repeats)
+    return {"rows": rows,
+            "geomean_speedup": round(geomean_speedup(rows), 2)}
+
+
 def record_fig13(repeats):
     from repro.npb import cg, lu
 
@@ -132,6 +148,9 @@ def record(out: pathlib.Path, quick: bool, repeats: int) -> dict:
         "fig12_connectors": record_fig12(
             window_s=0.1 if quick else 0.25, repeats=repeats
         ),
+        "fig12_steps": record_fig12_steps(
+            backlog=500 if quick else 2000, repeats=repeats
+        ),
     }
     if not quick:
         doc["fig13_npb"] = record_fig13(repeats=repeats)
@@ -148,17 +167,70 @@ def check(baseline_path: pathlib.Path) -> int:
     # Same per-run size as the recorded baseline (ns/step includes the
     # first-op plan warmup, so a smaller run would read systematically
     # slow), and min-of-N on both sides: fastest run vs fastest run.
-    now = _median_engine_row(1, "regions", values=300, repeats=5)
-    ratio = now["ns_per_step_min"] / pinned
+    # Thread-wakeup noise in this lane is one-sided (slow outliers only),
+    # so on an over-budget reading re-measure up to twice and keep the
+    # overall min before declaring a regression.
+    best = None
+    for _attempt in range(3):
+        now = _median_engine_row(1, "regions", values=300, repeats=5)
+        best = (now["ns_per_step_min"] if best is None
+                else min(best, now["ns_per_step_min"]))
+        if best / pinned <= REGRESSION_BUDGET:
+            break
+    ratio = best / pinned
     print(
         f"single-region ns/step (min of 5): baseline {pinned:.0f}, "
-        f"now {now['ns_per_step_min']:.0f} ({ratio:.2f}x, "
+        f"now {best:.0f} ({ratio:.2f}x, "
         f"budget {REGRESSION_BUDGET:.2f}x)"
     )
     if ratio > REGRESSION_BUDGET:
         print("FAIL: single-region hot path regressed beyond budget")
         return 1
+    rc = _check_steps(baseline.get("fig12_steps"))
+    if rc:
+        return rc
     print("OK")
+    return 0
+
+
+def _check_steps(baseline_steps) -> int:
+    """The compiled-tier gate: re-measure the two-tier Fig. 12 firing-cost
+    sweep and enforce (a) geomean compiled speedup ≥ STEP_SPEEDUP_FLOOR and
+    (b) no >REGRESSION_BUDGET geomean regression of the per-row
+    compiled-over-interpreter *ratio* against the committed baseline.
+    Gating the ratio rather than raw compiled ns/step makes the comparison
+    immune to host-speed drift (both tiers run in the same window, so a
+    slow box cancels out) while still tripping when the compiled tier
+    itself loses ground; geomean-over-rows because per-row comparisons at
+    the compiled tier's ~1 µs/step scale would trip on scheduler noise
+    alone."""
+    from bench_compiled_steps import geomean_speedup, sweep
+
+    now = sweep(backlog=2000, repeats=3)
+    speedup = geomean_speedup(now)
+    print(f"fig12 firing-cost geomean speedup (compiled over interpreter): "
+          f"{speedup:.2f}x (floor {STEP_SPEEDUP_FLOOR:.1f}x)")
+    if speedup < STEP_SPEEDUP_FLOOR:
+        print("FAIL: compiled step tier speedup below floor")
+        return 1
+    if baseline_steps:
+        base_rows = baseline_steps["rows"]
+        prod, count = 1.0, 0
+        for key, row in now.items():
+            base = base_rows.get(key)
+            if base is None:
+                continue
+            now_ratio = row["compiled_ns"] / row["interp_ns"]
+            base_ratio = base["compiled_ns"] / base["interp_ns"]
+            prod *= now_ratio / base_ratio
+            count += 1
+        if count:
+            ratio = prod ** (1.0 / count)
+            print(f"compiled/interp ratio vs baseline (geomean over {count} "
+                  f"rows): {ratio:.2f}x (budget {REGRESSION_BUDGET:.2f}x)")
+            if ratio > REGRESSION_BUDGET:
+                print("FAIL: compiled step tier regressed beyond budget")
+                return 1
     return 0
 
 

@@ -23,6 +23,7 @@ from typing import Sequence
 
 from repro.automata.automaton import BufferSpec, ConstraintAutomaton
 from repro.automata.product import ComposedStep, compose_outgoing, merged_buffers
+from repro.util.errors import CompileError
 
 
 class UnboundedCache:
@@ -54,7 +55,7 @@ class _BoundedCache:
 
     def __init__(self, capacity: int):
         if capacity < 1:
-            raise ValueError("cache capacity must be >= 1")
+            raise CompileError("cache capacity must be >= 1")
         self.capacity = capacity
         self._data: OrderedDict = OrderedDict()
         self.hits = 0
@@ -165,18 +166,19 @@ class LazyProduct:
         Used when restoring a checkpoint: the restored tuple need not be
         cached (``outgoing`` expands any reachable-or-not tuple on demand),
         but it must have one in-range component state per automaton.
-        Returns the state (as a tuple) for convenience; raises ValueError
+        Returns the state (as a tuple) for convenience; raises
+        :class:`~repro.util.errors.CompileError` (a ``ValueError``)
         otherwise.
         """
         state = tuple(state)
         if len(state) != len(self.automata):
-            raise ValueError(
+            raise CompileError(
                 f"state has {len(state)} components, product has "
                 f"{len(self.automata)}"
             )
         for i, (s, a) in enumerate(zip(state, self.automata)):
             if not isinstance(s, int) or not (0 <= s < max(a.n_states, 1)):
-                raise ValueError(
+                raise CompileError(
                     f"component {i} state {s!r} out of range for "
                     f"{a.n_states}-state automaton"
                 )

@@ -30,7 +30,11 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.automata.automaton import BufferSpec, ConstraintAutomaton, Transition
-from repro.util.errors import CompilationBudgetExceeded, WellFormednessError
+from repro.util.errors import (
+    CompilationBudgetExceeded,
+    CompileError,
+    WellFormednessError,
+)
 
 #: Default bound on the number of product states the eager composition may
 #: explore.  Models the capacity limit of the paper's *existing* compiler.
@@ -75,7 +79,7 @@ def compose_outgoing(
         return _compose_minimal(automata, local_states)
     if mode == "maximal":
         return _compose_maximal(automata, local_states)
-    raise ValueError(f"unknown composition mode {mode!r}")
+    raise CompileError(f"unknown composition mode {mode!r}")
 
 
 def _vertex_owners(automata: Sequence[ConstraintAutomaton]) -> dict[str, list[int]]:

@@ -24,7 +24,7 @@ from repro.connectors.primitives import build_automaton
 from repro.lang import ast
 from repro.lang.flatten import FPrim, NameExpr
 from repro.lang.interp import Env, eval_aexpr, eval_bexpr
-from repro.util.errors import CompilationError, ScopeError
+from repro.util.errors import CompilationError, CompileError, ScopeError
 from repro.util.unionfind import UnionFind
 
 #: State budget for composing one template's primitive group at compile time.
@@ -229,7 +229,7 @@ class PlanNode:
             elif granularity == "small":
                 out.extend(template.instantiate_smalls(env, ports))
             else:
-                raise ValueError(f"unknown granularity {granularity!r}")
+                raise CompileError(f"unknown granularity {granularity!r}")
         for p in self.prods:
             lo = eval_aexpr(p.lo, env)
             hi = eval_aexpr(p.hi, env)

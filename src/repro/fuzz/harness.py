@@ -50,17 +50,26 @@ from repro.runtime.trace import TraceRecorder
 #: round-trip too.
 MODES = {
     "global-jit": dict(concurrency="global", composition="jit",
-                       use_partitioning=False),
+                       use_partitioning=False, compiled="off"),
     "global-aot": dict(concurrency="global", composition="aot",
-                       use_partitioning=False),
+                       use_partitioning=False, compiled="off"),
     "regions-jit": dict(concurrency="regions", composition="jit",
-                        use_partitioning=True),
+                        use_partitioning=True, compiled="off"),
     "regions-aot": dict(concurrency="regions", composition="aot",
-                        use_partitioning=True),
+                        use_partitioning=True, compiled="off"),
     "serve-jit": dict(concurrency="regions", composition="jit",
-                      use_partitioning=True, host="serve"),
+                      use_partitioning=True, compiled="off", host="serve"),
     "durable": dict(concurrency="regions", composition="jit",
-                    use_partitioning=True, host="durable"),
+                    use_partitioning=True, compiled="off", host="durable"),
+    # The compiled step tier (repro.compiler.steps).  The six modes above
+    # pin compiled="off" so they stay pure interpretive baselines — an
+    # injected bug that doctors interpreter internals (e.g. the candidates
+    # list) must remain oracle-visible there — while these two exercise the
+    # generated step functions against every baseline simultaneously.
+    "regions-compiled": dict(concurrency="regions", composition="jit",
+                             use_partitioning=True, compiled="auto"),
+    "global-compiled": dict(concurrency="global", composition="aot",
+                            use_partitioning=False, compiled="auto"),
 }
 
 

@@ -57,6 +57,15 @@ class BufferStore:
     def occupancy(self, name: str) -> int:
         return len(self._queues[name])
 
+    def queue(self, name: str) -> deque:
+        """The live deque behind ``name`` — the step compiler binds this
+        object into generated closures, which is why :meth:`set_contents`
+        must mutate it in place rather than replace it."""
+        return self._queues[name]
+
+    def capacity(self, name: str) -> int | None:
+        return self._capacity[name]
+
     def names(self) -> tuple[str, ...]:
         return tuple(self._queues)
 
@@ -75,7 +84,12 @@ class BufferStore:
             raise RuntimeProtocolError(
                 f"buffer {name!r} cannot hold {len(items)} values (capacity {cap})"
             )
-        self._queues[name] = deque(items)
+        # Mutate in place: compiled step functions (repro.compiler.steps)
+        # close over the deque objects, so replacing them would silently
+        # detach the compiled tier from the store.
+        q = self._queues[name]
+        q.clear()
+        q.extend(items)
 
     def restore(self, snapshot: dict[str, tuple]) -> None:
         """Replace *all* contents from a checkpoint snapshot.

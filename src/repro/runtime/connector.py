@@ -37,7 +37,13 @@ linked to outports/inports), and execution options:
   independent regions a partitioned connector compiles to fire on multiple
   OS threads concurrently) or ``"global"`` (the single-lock serial engine,
   kept as the honest baseline for ``benchmarks/bench_engine_scaling.py``);
-  see docs/INTERNALS.md §"Engine concurrency model".
+  see docs/INTERNALS.md §"Engine concurrency model";
+* ``compiled`` — the specialized step tier (docs/COMPILER.md): ``"auto"``
+  (default) emits a specialized Python step function per transition at
+  connect time and silently demotes anything uncompilable to the
+  interpretive engine; ``"off"`` interprets everything; ``"require"``
+  raises :class:`~repro.util.errors.CompileError` instead of demoting
+  (tests and tooling).
 """
 
 from __future__ import annotations
@@ -90,12 +96,17 @@ class RuntimeConnector(Connector):
         metrics: MetricsRegistry | None = None,
         name: str = "",
         concurrency: str = "regions",
+        compiled: str = "auto",
     ):
         if composition not in ("jit", "aot"):
             raise ValueError(f"composition must be 'jit' or 'aot', not {composition!r}")
         if concurrency not in ("regions", "global"):
             raise ValueError(
                 f"concurrency must be 'regions' or 'global', not {concurrency!r}"
+            )
+        if compiled not in ("auto", "off", "require"):
+            raise ValueError(
+                f"compiled must be 'auto', 'off' or 'require', not {compiled!r}"
             )
         self.automata = list(automata)
         self.tail_vertices = list(tail_vertices)
@@ -112,6 +123,7 @@ class RuntimeConnector(Connector):
         self.detection_grace = detection_grace
         self.overload = overload
         self.concurrency = concurrency
+        self.compiled = compiled
         self.metrics = metrics
         self._metrics = (
             ConnectorMetrics(metrics, name or "connector")
@@ -190,6 +202,7 @@ class RuntimeConnector(Connector):
             overload=self.overload,
             metrics=self._metrics,
             concurrency=self.concurrency,
+            compiled=self.compiled,
         )
         if self.composition == "aot":
             # The existing approach compiles every transition's firing plan

@@ -107,6 +107,7 @@ from repro.runtime.recovery import Checkpoint, RegionState
 from repro.runtime.trace import render_deadlock_diagnostic
 from repro.util.errors import (
     CheckpointError,
+    CompileError,
     DeadlockError,
     OverloadError,
     PeerFailedError,
@@ -122,6 +123,18 @@ _WAIT_TICK = 0.1
 #: of two; ``steps & mask == 0`` is measurably cheaper than ``%``).
 _LAT_MASK = LATENCY_STRIDE - 1
 assert LATENCY_STRIDE & _LAT_MASK == 0, "LATENCY_STRIDE must be a power of two"
+
+#: Stand-in pending dict for serial mode: compiled step functions always
+#: do their ``pending.pop(v, None)`` bookkeeping, and in serial mode (which
+#: rebuilds the pending list per attempt) popping this shared empty dict is
+#: a harmless no-op.
+_NULL_PEND: dict = {}
+
+#: Per-region cap on the number of control states the compiled tier keeps
+#: specialized step tables for (JIT regions compile per visited state).
+#: States beyond the cap are simply interpreted — correctness never depends
+#: on a table hit.
+_STATE_TABLE_CAP = 4096
 
 
 class _Op:
@@ -199,6 +212,12 @@ class _RegionRuntime:
         #: Candidates examined before fired steps (metrics; advanced only
         #: when metered, like the pre-region ``_scan_count``).
         self.scanned = 0
+        #: Compiled step tier (repro.compiler.steps): ``ctable`` maps a
+        #: control state to its tuple of specialized CompiledStep functions;
+        #: ``compiled`` is False when this region was demoted to the
+        #: interpretive engine (compile refusal, or ``compiled="off"``).
+        self.compiled = False
+        self.ctable: dict | None = None
 
 
 class EagerRegion(_RegionRuntime):
@@ -227,16 +246,21 @@ class EagerRegion(_RegionRuntime):
         return self.automaton.outgoing(self.state)
 
     def candidates(self, pending_vertices):
-        """Transitions worth checking: those touching a pending vertex, plus
-        internal steps.  This is the §V.B point-2 dispatch advantage."""
-        out = list(self.index.internal[self.state])
-        seen = set(map(id, out))
-        for v in pending_vertices:
-            for t in self.index.candidates(self.state, v):
-                if id(t) not in seen:
-                    seen.add(id(t))
-                    out.append(t)
-        return out
+        """The state's outgoing transitions, in automaton order.
+
+        Dense enumeration deliberately matches the compiled step tier's
+        per-state tables item for item: the round-robin fairness cursors
+        (and the checkpoints that carry them, see ``rr`` in
+        :class:`~repro.runtime.recovery.RegionState`) index a candidate
+        list by position, so a checkpoint written under one tier restores
+        the same fairness choices under the other only if both tiers
+        enumerate identically.  The pending-filtered per-vertex dispatch of
+        :class:`~repro.automata.analysis.GlobalIndex` (§V.B point 2) is
+        superseded on the hot path by the compiled tables, which specialize
+        per state rather than per (state, vertex) — the index remains
+        available (``self.index``) for analyses and tests.
+        """
+        return self.automaton.outgoing(self.state)
 
     def advance(self, step) -> None:
         self.state = step.target
@@ -310,10 +334,15 @@ class CoordinatorEngine:
         overload: "OverloadPolicy | dict[str, OverloadPolicy] | None" = None,
         metrics=None,
         concurrency: str = "regions",
+        compiled: str = "auto",
     ):
         if concurrency not in ("regions", "global"):
             raise ValueError(
                 f"concurrency must be 'regions' or 'global', not {concurrency!r}"
+            )
+        if compiled not in ("auto", "off", "require"):
+            raise ValueError(
+                f"compiled must be 'auto', 'off' or 'require', not {compiled!r}"
             )
         self.concurrency = concurrency
         self._serial = concurrency == "global"
@@ -327,8 +356,19 @@ class CoordinatorEngine:
         # Every hot-path use is guarded by one `is not None` check, so an
         # unobserved engine runs the pre-observability code path.
         self._metrics = metrics
+        # Timing stamps and liveness marks on the post path exist for the
+        # observability layer and the watchdog; with neither attached they
+        # are skipped (parties arriving later re-enable them dynamically —
+        # see _post).
+        self._observing = metrics is not None or tracer is not None
         self.default_timeout = default_timeout
         self.detection_grace = detection_grace
+        # Compiled step tier (repro.compiler.steps): "auto" compiles what it
+        # can and demotes the rest to the interpretive engine, "off" forces
+        # interpretation everywhere, "require" raises CompileError instead
+        # of demoting (tests and tooling).
+        self._compiled = compiled
+        self._step_compiler = None
 
         # Registry lock — outermost in the lock order.  Guards the party
         # registry, the blocked-waiter count, and the deadlock suspect;
@@ -528,14 +568,23 @@ class CoordinatorEngine:
                     raise PortClosedError(
                         f"vertex {op.vertex!r} rejected: connector draining"
                     )
-                op.t_enq = time.monotonic()
-                op.steps_enq = self._steps_approx
-                self._mark_active(op.vertex, op.t_enq)
-                mx = self._metrics
-                if mx is not None:
-                    child = (mx.sub_send if is_send else mx.sub_recv).get(op.vertex)
-                    if child is not None:
-                        child.value += 1.0
+                if self._observing or self._parties:
+                    # Timing stamps and liveness marks feed metrics, the
+                    # tracer's wait spans, and the watchdog; with none of
+                    # those attached, skip the clock reads.  No wakeup
+                    # Event is installed on this path at all — a post
+                    # handle is polled (``done``/``error``), never waited
+                    # on, and allocating an Event per post dominated the
+                    # single-threaded firing cost.
+                    op.t_enq = time.monotonic()
+                    op.steps_enq = self._steps_approx
+                    self._mark_active(op.vertex, op.t_enq)
+                    mx = self._metrics
+                    if mx is not None:
+                        child = (mx.sub_send if is_send
+                                 else mx.sub_recv).get(op.vertex)
+                        if child is not None:
+                            child.value += 1.0
                 queue.append(op)
                 region.pend[op.vertex] = None
                 region.dirty = True
@@ -549,11 +598,6 @@ class CoordinatorEngine:
                         and len(queue) > pol.max_pending
                     ):
                         self._overflow(queue, op, pol, region)
-                    if not op.done and op.error is None:
-                        # Wakeup slot installed for uniformity: a later
-                        # firing (or close) sets it, and anything joining
-                        # on the handle can wait on it.
-                        op.event = threading.Event()
             finally:
                 region.lock.release()
         finally:
@@ -674,6 +718,8 @@ class CoordinatorEngine:
             r.live = True
             r.fired = 0
             r.scanned = 0
+            r.compiled = False
+            r.ctable = None
             for v in r.vertices:
                 route[v] = r
             for b in r.buffer_names():
@@ -701,6 +747,58 @@ class CoordinatorEngine:
                 seen.add(id(r.lock))
                 ordered.append(r.lock)
         self._all_locks: tuple = tuple(ordered)
+        # (Re)compile the step tier against the objects just adopted — both
+        # construction and reconfigure land here, so the emitted closures
+        # always bind the engine's *current* queues/buffers/closed set.
+        self._compile_regions()
+
+    def _compile_regions(self) -> None:
+        """Install specialized step tables on every region that compiles
+        (see :mod:`repro.compiler.steps`).  ``compiled="auto"`` demotes a
+        region whose transitions cannot be specialized — the interpretive
+        engine is the always-correct fallback; ``"require"`` raises the
+        :class:`~repro.util.errors.CompileError` instead."""
+        self._step_compiler = None
+        if self._compiled == "off":
+            return
+        # Imported here, not at module level: repro.compiler's package init
+        # pulls in the textual-compilation stack, which transitively imports
+        # runtime modules — a cycle at import time, but not at run time.
+        from repro.compiler.steps import StepCompiler
+
+        compiler = StepCompiler(
+            self._pending_send,
+            self._pending_recv,
+            self.buffers,
+            self.sources,
+            self.sinks,
+            self.registry,
+            self._closed_vertices,
+        )
+        self._step_compiler = compiler
+        for r in self.regions:
+            try:
+                if isinstance(r, EagerRegion):
+                    # Eager regions are fully known: compile every state now
+                    # (the existing approach's compile-time share, like
+                    # precompile_plans).
+                    r.ctable = compiler.compile_automaton(r.automaton)
+                else:
+                    # Lazy regions specialize per visited state, starting
+                    # with the initial one — an up-front probe so obvious
+                    # refusals demote before the first firing.
+                    r.ctable = {
+                        r.state: compiler.compile_state(
+                            r.candidates(None), r.state, lazy=True
+                        )
+                    }
+            except CompileError:
+                if self._compiled == "require":
+                    raise
+                r.ctable = None
+                r.compiled = False
+                continue
+            r.compiled = True
 
     @staticmethod
     def _acquire(locks) -> None:
@@ -1640,8 +1738,62 @@ class CoordinatorEngine:
         for the caller to chase after releasing this lock."""
         region.dirty = False
         pend = region.pend
+        if (
+            region.compiled
+            and not self._observing
+            and not self._vertex_party
+            and not self._serial
+        ):
+            # Unobserved fast path: fuse the whole drain into one loop so
+            # the per-fire dispatch prologue (metrics/tracer/trace-lock
+            # probing in _fire_compiled) is paid once per drain, not once
+            # per step.  Falls through when the region demotes mid-drain.
+            if self._drain_compiled(region, pend, spill):
+                return
         while self._fire_one(region, pend, spill):
             pass
+
+    def _drain_compiled(self, region, pend, spill) -> bool:
+        """Drain a compiled region to quiescence with per-fire invariants
+        hoisted (no metrics, tracer, or watchdog parties attached — the
+        caller checked).  Returns ``False`` if the region demoted (or hit
+        the state-table cap) mid-drain; the caller then finishes
+        interpretively.  Bookkeeping is identical to :meth:`_fire_compiled`
+        minus the observability epilogue that cannot apply here."""
+        ctable = region.ctable
+        cursors = region.cursors
+        watchers = self._watchers
+        while True:
+            state = region.state
+            entries = ctable.get(state)
+            if entries is None:
+                entries = self._compile_region_state(region)
+                if entries is None:
+                    return False
+            n = len(entries)
+            if n == 0:
+                return True
+            start = cursors.get(state, 0) % n
+            for k in range(n):
+                e = entries[(start + k) % n]
+                if e.fire(pend, False) is None:
+                    continue
+                region.state = e.target
+                cursors[state] = (start + k + 1) % n
+                region.fired += 1
+                self._steps_approx += 1
+                if watchers:
+                    for b in e.touched:
+                        ws = watchers.get(b)
+                        if ws:
+                            for w in ws:
+                                if w is not region and not w.dirty:
+                                    w.dirty = True
+                                    if spill is not None:
+                                        spill.append(w)
+                break
+            else:
+                return True
 
     def _chase(self, spill: list) -> None:
         """Drain the regions a firing signalled, one lock at a time (no
@@ -1680,12 +1832,146 @@ class CoordinatorEngine:
     def _fire_one(self, region, pending, spill) -> bool:
         """Try to fire one transition of ``region`` (its lock held).
 
+        Dispatches to the compiled step tier when this region's current
+        control state has a specialized table (see
+        :mod:`repro.compiler.steps` and docs/COMPILER.md), otherwise to the
+        interpretive engine — including mid-run, per state: a lazy region
+        whose newly visited state fails to compile demotes and keeps
+        running interpreted, with identical behaviour.
+
         ``pending`` is the region's incrementally maintained pending-vertex
         set, or ``None`` in serial mode (which rebuilds the global list per
         attempt, as the baseline always did).  ``spill`` collects regions
         signalled through shared buffers; ``None`` means the caller holds
         every region lock and will consult dirty flags directly.
         """
+        if region.compiled:
+            entries = region.ctable.get(region.state)
+            if entries is None:
+                entries = self._compile_region_state(region)
+            if entries is not None:
+                return self._fire_compiled(region, entries, pending, spill)
+        return self._fire_one_interp(region, pending, spill)
+
+    def _compile_region_state(self, region):
+        """JIT-compile the region's current control state (lazy regions
+        reach states discovered only at run time).  Returns the new table
+        entry, or ``None`` after demoting the region / hitting the state
+        cap — the caller then interprets."""
+        if len(region.ctable) >= _STATE_TABLE_CAP:
+            return None
+        try:
+            entries = self._step_compiler.compile_state(
+                region.candidates(None),
+                region.state,
+                lazy=isinstance(region, LazyRegion),
+            )
+        except CompileError:
+            if self._compiled == "require":
+                raise
+            region.compiled = False
+            region.ctable = None
+            return None
+        region.ctable[region.state] = entries
+        return entries
+
+    def _fire_compiled(self, region, entries, pending, spill) -> bool:
+        """Compiled twin of :meth:`_fire_one_interp`: round-robin over the
+        state's specialized step functions, then the same bookkeeping and
+        observability epilogue the interpreter performs — cursors, fired
+        counters, watcher spill, liveness stamps, metrics, and tracer
+        records are bit-for-bit identical so checkpoints and traces round-
+        trip across tiers."""
+        n = len(entries)
+        if n == 0:
+            return False
+        mx = self._metrics
+        tracing = self.tracer is not None
+        serial = self._serial
+        obs = mx is not None or tracing or bool(self._vertex_party)
+        trace_lock = self._trace_lock if (tracing and not serial) else None
+        if pending is None:
+            pending = _NULL_PEND
+        state0 = region.state
+        start = region.cursors.get(state0, 0) % n
+        # Coarser than the interpreter's per-candidate critical section
+        # (held across the probe loop, not just probe→record), which
+        # preserves the same cross-region causality guarantee.
+        if trace_lock is not None:
+            trace_lock.acquire()
+        try:
+            for k in range(n):
+                e = entries[(start + k) % n]
+                r = e.fire(pending, obs)
+                if r is None:
+                    continue
+                # Fired.
+                region.state = e.target
+                region.cursors[state0] = (start + k + 1) % n
+                region.fired += 1
+                self._steps_approx += 1
+                if self._watchers:
+                    for b in e.touched:
+                        ws = self._watchers.get(b)
+                        if ws:
+                            for w in ws:
+                                if w is not region and not w.dirty:
+                                    w.dirty = True
+                                    if spill is not None:
+                                        spill.append(w)
+                if r is not True:
+                    cs, cr, dl, enq = r
+                    t = time.monotonic()
+                    if self._vertex_party:
+                        for v in cs:
+                            self._mark_active(v, t)
+                        for v in cr:
+                            self._mark_active(v, t)
+                    if mx is not None:
+                        region.scanned += k + 1
+                        done = mx.done
+                        for v in cs:
+                            child = done.get(v)
+                            if child is not None:
+                                child.value += 1.0
+                        for v in cr:
+                            child = done.get(v)
+                            if child is not None:
+                                child.value += 1.0
+                        # region.fired was already advanced: sample the
+                        # same strided steps the interpreter does.
+                        if enq and (region.fired - 1) & _LAT_MASK == 0:
+                            min_te = 0.0
+                            for _v, te in enq:
+                                if te and (not min_te or te < min_te):
+                                    min_te = te
+                            with self._stat_lock:
+                                mx.latency_child.observe(
+                                    t - min_te if min_te else 0.0)
+                    if tracing:
+                        self.tracer.record(
+                            region.idx,
+                            e.label,
+                            list(cs),
+                            list(cr),
+                            dl,
+                            t=t,
+                            waits=tuple(
+                                (v, t - te if te else 0.0) for v, te in enq
+                            ),
+                        )
+                if serial:
+                    self._cond.notify_all()
+                return True
+            return False
+        finally:
+            if trace_lock is not None:
+                trace_lock.release()
+
+    def _fire_one_interp(self, region, pending, spill) -> bool:
+        """The interpretive firing engine — the always-correct tier every
+        region can fall back to (plan evaluation via
+        :class:`~repro.automata.simplify.FiringPlan`)."""
         if pending is None:
             pending = self._pending_vertices()
         steps = region.candidates(pending)
@@ -1910,13 +2196,21 @@ class CoordinatorEngine:
             "shed": self.dead.count(),
             "draining": self._draining,
             "concurrency": self.concurrency,
+            "step_tier": self._compiled,
         }
         expansions = 0
         cache_len = 0
+        compiled_regions = 0
+        compiled_states = 0
         for r in self.regions:
             if isinstance(r, LazyRegion):
                 expansions += r.lazy.expansions
                 cache_len += len(r.lazy.cache)
+            if r.compiled:
+                compiled_regions += 1
+                compiled_states += len(r.ctable)
         out["expansions"] = expansions
         out["cached_states"] = cache_len
+        out["compiled_regions"] = compiled_regions
+        out["compiled_states"] = compiled_states
         return out

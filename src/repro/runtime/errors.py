@@ -19,6 +19,8 @@ Hierarchy::
 
     ReproError                      (repro.util.errors — library root)
     └── ReproRuntimeError           ← catch-all for the serving layer
+        ├── CompileError            run-time compilation tier refusals
+        │                           (also a ValueError, for historic callers)
         └── RuntimeProtocolError    protocol misuse & failures
             ├── DeadlockError
             ├── PortClosedError
@@ -40,6 +42,7 @@ from __future__ import annotations
 
 from repro.util.errors import (
     CheckpointError,
+    CompileError,
     DeadlockError,
     DurabilityError,
     OverloadError,
@@ -55,6 +58,7 @@ from repro.util.errors import (
 
 __all__ = [
     "ReproRuntimeError",
+    "CompileError",
     "RuntimeProtocolError",
     "DeadlockError",
     "PortClosedError",

@@ -88,6 +88,24 @@ class ReproRuntimeError(ReproError):
     """
 
 
+class CompileError(ReproRuntimeError, ValueError):
+    """Raised by the run-time compilation tier (commandification, step-function
+    codegen, composition-mode/granularity selection) when something cannot be
+    compiled *at run time*.
+
+    Distinct from :class:`CompilationError`, which covers the front-end
+    (text → AST → automata) pipeline: a :class:`CompileError` concerns the
+    backend share that runs at connect/JIT time — an unknown composition
+    mode, an unplannable constraint handed to the step compiler, a region
+    over the step-compiler's budget.  The engine's compiled-tier fallback
+    catches exactly this type and demotes the affected region to the
+    interpretive engine (see docs/COMPILER.md).
+
+    Also a :class:`ValueError`: these paths historically raised bare
+    ``ValueError``s, and callers that caught those keep working.
+    """
+
+
 class RuntimeProtocolError(ReproRuntimeError):
     """Raised on protocol misuse at run time (e.g. port bound twice)."""
 

@@ -179,8 +179,9 @@ def workload(name, n):
     raise AssertionError(f"no workload for {name}")
 
 
-def make(name, n, tracer):
-    conn = library.connector(name, n, default_timeout=OP_TIMEOUT, tracer=tracer)
+def make(name, n, tracer, compiled="auto"):
+    conn = library.connector(name, n, default_timeout=OP_TIMEOUT,
+                             tracer=tracer, compiled=compiled)
     outs, ins = mkports(len(conn.tail_vertices), len(conn.head_vertices))
     conn.connect(outs, ins)
     return conn, outs, ins
@@ -207,13 +208,24 @@ def durable_hop(cp, tmp_path, tag):
     return got
 
 
+@pytest.mark.parametrize(
+    "tiers", [("auto", "off"), ("off", "auto")],
+    ids=["compiled-to-interp", "interp-to-compiled"],
+)
 @pytest.mark.parametrize("n", ARITIES)
 @pytest.mark.parametrize("name", library.names())
-def test_checkpoint_roundtrip(name, n, tmp_path):
+def test_checkpoint_roundtrip(name, n, tiers, tmp_path):
+    """Cross-tier round-trip: the checkpoint is taken under one step tier
+    and restored under the other, in both directions.  Checkpoints carry
+    per-state rr cursors as indexes into the candidate list, so this pins
+    the tiers' shared dense candidate enumeration — a compiled table whose
+    order diverged from the interpreter's scan would replay phase B with a
+    different arbitration and fail trace equivalence here."""
+    tier1, tier2 = tiers
     phase_a, phase_b = workload(name, n)
 
     tracer1 = TraceRecorder()
-    c1, outs1, ins1 = make(name, n, tracer1)
+    c1, outs1, ins1 = make(name, n, tracer1, compiled=tier1)
     run_phase(c1, outs1, ins1, phase_a)
     cp = durable_hop(c1.checkpoint(), tmp_path, f"{name}-{n}")
     mark = len(tracer1.events)
@@ -223,7 +235,7 @@ def test_checkpoint_roundtrip(name, n, tmp_path):
     c1.close()
 
     tracer2 = TraceRecorder()
-    c2, outs2, ins2 = make(name, n, tracer2)
+    c2, outs2, ins2 = make(name, n, tracer2, compiled=tier2)
     c2.restore(cp)  # also clears tracer2
     obs2 = run_phase(c2, outs2, ins2, phase_b)
     events2 = tracer2.events

@@ -138,7 +138,11 @@ def test_maximal_step_mode_runs():
 
 
 def test_plan_cache_reused():
-    conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector("P")
+    # The interpretive tier's plan cache — force it; under compiled="auto"
+    # the generated step functions never touch FiringPlans at fire time.
+    conn = compile_source("P(a;b) = Fifo1(a;b)").instantiate_connector(
+        "P", compiled="off"
+    )
     outs, ins = mkports(1, 1)
     conn.connect(outs, ins)
     for i in range(20):
