@@ -35,9 +35,12 @@ linked to outports/inports), and execution options:
   off (single-branch hot-path guards, see docs/INTERNALS.md §8);
 * ``concurrency`` — ``"regions"`` (default: per-region locking, so the
   independent regions a partitioned connector compiles to fire on multiple
-  OS threads concurrently) or ``"global"`` (the single-lock serial engine,
-  kept as the honest baseline for ``benchmarks/bench_engine_scaling.py``);
-  see docs/INTERNALS.md §"Engine concurrency model";
+  OS threads concurrently), ``"global"`` (the single-lock serial engine,
+  kept as the honest baseline for ``benchmarks/bench_engine_scaling.py``),
+  or ``"workers"`` (region drain loops in separate OS processes over
+  shared-memory port buffers — real CPU parallelism past the GIL; see
+  docs/PARALLEL.md).  ``workers=N`` bounds the process count for the
+  multiprocess backend; see docs/INTERNALS.md §"Engine concurrency model";
 * ``compiled`` — the specialized step tier (docs/COMPILER.md): ``"auto"``
   (default) emits a specialized Python step function per transition at
   connect time and silently demotes anything uncompilable to the
@@ -59,7 +62,12 @@ from repro.automata.lazy import LazyProduct
 from repro.automata.partition import partition_automata
 from repro.automata.product import merged_buffers, product
 from repro.runtime.buffers import BufferStore
-from repro.runtime.engine import CoordinatorEngine, EagerRegion, LazyRegion
+from repro.runtime.engine import (
+    CoordinatorEngine,
+    EagerRegion,
+    LazyRegion,
+    make_engine,
+)
 from repro.runtime.metrics import ConnectorMetrics, MetricsRegistry
 from repro.runtime.overload import OverloadPolicy
 from repro.runtime.ports import Inport, Outport
@@ -96,13 +104,15 @@ class RuntimeConnector(Connector):
         metrics: MetricsRegistry | None = None,
         name: str = "",
         concurrency: str = "regions",
+        workers: int = 2,
         compiled: str = "auto",
     ):
         if composition not in ("jit", "aot"):
             raise ValueError(f"composition must be 'jit' or 'aot', not {composition!r}")
-        if concurrency not in ("regions", "global"):
+        if concurrency not in ("regions", "global", "workers"):
             raise ValueError(
-                f"concurrency must be 'regions' or 'global', not {concurrency!r}"
+                f"concurrency must be 'regions', 'global' or 'workers', "
+                f"not {concurrency!r}"
             )
         if compiled not in ("auto", "off", "require"):
             raise ValueError(
@@ -123,6 +133,7 @@ class RuntimeConnector(Connector):
         self.detection_grace = detection_grace
         self.overload = overload
         self.concurrency = concurrency
+        self.workers = workers
         self.compiled = compiled
         self.metrics = metrics
         self._metrics = (
@@ -189,7 +200,7 @@ class RuntimeConnector(Connector):
         sinks = frozenset(self.head_vertices)
         regions, store = self._build_regions(self.automata, sources, sinks)
 
-        self.engine = CoordinatorEngine(
+        self.engine = make_engine(
             regions,
             store,
             sources,
@@ -202,6 +213,7 @@ class RuntimeConnector(Connector):
             overload=self.overload,
             metrics=self._metrics,
             concurrency=self.concurrency,
+            workers=self.workers,
             compiled=self.compiled,
         )
         if self.composition == "aot":

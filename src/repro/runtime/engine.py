@@ -2159,6 +2159,42 @@ class CoordinatorEngine:
                     count += 1
         return count
 
+    def kick_buffers(self, names) -> None:
+        """Mark every region watching ``names`` dirty and drain the cascade.
+
+        The ingress half of the cross-process τ-flow relay (see
+        :mod:`repro.runtime.workers`): a peer process changed these shared
+        buffers, so the regions reading them must re-scan exactly as if a
+        local firing had touched them.  Built from ``buffer_names()``
+        directly rather than ``_watchers`` — that map only carries buffers
+        shared by >1 *local* region, while a kicked buffer's other watcher
+        lives in a different process."""
+        name_set = frozenset(names)
+        targets = [
+            r for r in self.regions
+            if r.live and not name_set.isdisjoint(r.buffer_names())
+        ]
+        if not targets:
+            return
+        if self._serial:
+            with self._cond:
+                for r in targets:
+                    r.dirty = True
+                self._drain_serial()
+                self._cond.notify_all()
+            return
+        spill: list = []
+        for r in targets:
+            r.dirty = True
+            spill.append(r)
+        self._chase(spill)
+
+    def routing_table(self) -> dict[str, int]:
+        """Vertex → region-index map (exported so the workers backend can
+        replicate the adoption-time routing across processes, and for
+        diagnostics)."""
+        return {v: r.idx for v, r in self._route.items()}
+
     # ------------------------------------------------------------- sampling
 
     def pending_depths(self) -> list[tuple[str, str, int]]:
@@ -2214,3 +2250,25 @@ class CoordinatorEngine:
         out["compiled_regions"] = compiled_regions
         out["compiled_states"] = compiled_states
         return out
+
+
+def make_engine(regions, buffers, sources, sinks, *, concurrency="regions",
+                workers=2, **kwargs):
+    """Backend-selecting engine factory.
+
+    ``"regions"`` and ``"global"`` build the in-process
+    :class:`CoordinatorEngine`; ``"workers"`` builds the multiprocess
+    :class:`~repro.runtime.workers.WorkerCoordinatorEngine` (imported
+    lazily — it forks at construction, which callers on the thread
+    backends should never pay for).  ``workers`` is only meaningful for
+    the multiprocess backend.
+    """
+    if concurrency == "workers":
+        from repro.runtime.workers import WorkerCoordinatorEngine
+
+        return WorkerCoordinatorEngine(
+            regions, buffers, sources, sinks, workers=workers, **kwargs
+        )
+    return CoordinatorEngine(
+        regions, buffers, sources, sinks, concurrency=concurrency, **kwargs
+    )

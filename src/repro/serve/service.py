@@ -168,6 +168,8 @@ class CoordinatorService:
         service_time: float = 0.0,
         registry: MetricsRegistry | None = None,
         default_timeout: float = ADMIN_TIMEOUT,
+        concurrency: str = "regions",
+        engine_workers: int | None = None,
     ) -> FarmSession:
         """Admit and open one session for ``tenant``.
 
@@ -206,6 +208,8 @@ class CoordinatorService:
                 default_timeout=default_timeout,
                 durability=durability,
                 auto_checkpoint=self.auto_checkpoint,
+                concurrency=concurrency,
+                engine_workers=engine_workers,
             )
             session.open()
             shard = self._shard_for(session)
@@ -246,6 +250,8 @@ class CoordinatorService:
                 policy=policy,
                 service_time=meta.get("service_time", 0.0),
                 default_timeout=meta.get("default_timeout", ADMIN_TIMEOUT),
+                concurrency=meta.get("concurrency", "regions"),
+                engine_workers=meta.get("engine_workers"),
             )
             recovered.append(name)
         return sorted(recovered)

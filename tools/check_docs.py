@@ -44,6 +44,7 @@ EXECUTE = {
     "docs/COMPILER.md": None,
     "docs/DURABILITY.md": None,
     "docs/OBSERVABILITY.md": None,
+    "docs/PARALLEL.md": None,
     "docs/SERVICE.md": None,
     "README.md": "Observability quickstart",
 }
